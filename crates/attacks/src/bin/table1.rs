@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table 1: runs all twelve attacks under every
+//! defense and prints the verdict matrix.
+
+fn main() {
+    let mut scenarios = rsti_attacks::scenarios::all();
+    if std::env::args().any(|a| a == "--extended") {
+        scenarios.extend(rsti_attacks::scenarios::extras());
+    }
+    let matrix = rsti_attacks::run_matrix(&scenarios);
+    print!("{}", rsti_attacks::render_table1(&scenarios, &matrix));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 2: measured attacker-restriction matrix.
+
+fn main() {
+    print!("{}", rsti_attacks::render_table2());
+}

@@ -1,0 +1,159 @@
+//! # rsti-attacks — the security evaluation (paper §6.1, Tables 1 and 2)
+//!
+//! Re-creates all twelve Table 1 exploits as MiniC victims with the same
+//! pointer scope-type relationships as the paper's table, drives them with
+//! the VM's attacker API, and derives per-defense verdicts; plus measured
+//! Table 2 capability probes.
+//!
+//! ```
+//! use rsti_attacks::{scenarios, harness};
+//! use rsti_core::Mechanism;
+//!
+//! let s = &scenarios::all()[0]; // NEWTON CsCFI
+//! // Unprotected, the hijack succeeds...
+//! assert_eq!(harness::evaluate(s, None), harness::Verdict::PayloadExecuted);
+//! // ...under RSTI-STWC it is detected.
+//! assert!(matches!(
+//!     harness::evaluate(s, Some(Mechanism::Stwc)),
+//!     harness::Verdict::Detected(_)
+//! ));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capability;
+pub mod harness;
+pub mod scenarios;
+
+pub use capability::{capability_matrix, render_table2, ProbeOutcome};
+pub use harness::{
+    check_benign, defense_name, evaluate, render_table1, run_matrix, AttackKind, Category,
+    Corruption, MatrixRow, Scenario, Verdict, DEFENSES,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsti_core::Mechanism;
+
+    /// Scenarios whose substitution uses the same basic type on both
+    /// sides — the ones the PARTS baseline cannot detect (§6.1.2).
+    const PARTS_MISSES: &[&str] = &["coop-rec-g", "coop-ml-g", "pittypat-coop", "dop-proftpd"];
+
+    #[test]
+    fn every_victim_runs_cleanly_when_not_attacked() {
+        for s in scenarios::all() {
+            for d in DEFENSES {
+                check_benign(&s, d).unwrap_or_else(|e| {
+                    panic!("{} under {}: {e}", s.id, defense_name(d))
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn unprotected_attacks_all_succeed() {
+        for s in scenarios::all() {
+            let v = evaluate(&s, None);
+            assert_eq!(
+                v,
+                Verdict::PayloadExecuted,
+                "{} must succeed with no defense, got {v:?}",
+                s.id
+            );
+        }
+    }
+
+    #[test]
+    fn rsti_detects_every_table1_attack() {
+        for s in scenarios::all() {
+            for mech in [Mechanism::Stwc, Mechanism::Stc, Mechanism::Stl] {
+                let v = evaluate(&s, Some(mech));
+                assert!(
+                    matches!(v, Verdict::Detected(_)),
+                    "{} under {}: expected detection, got {v:?}",
+                    s.id,
+                    mech
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parts_misses_same_basic_type_substitutions() {
+        for s in scenarios::all() {
+            let v = evaluate(&s, Some(Mechanism::Parts));
+            if PARTS_MISSES.contains(&s.id) {
+                assert_eq!(
+                    v,
+                    Verdict::PayloadExecuted,
+                    "{}: PARTS should miss this same-type substitution, got {v:?}",
+                    s.id
+                );
+            } else {
+                assert!(
+                    v.stopped(),
+                    "{}: PARTS should stop this attack, got {v:?}",
+                    s.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_report_renders() {
+        let scenarios = scenarios::all();
+        let matrix = run_matrix(&scenarios[..2]);
+        let text = render_table1(&scenarios[..2], &matrix);
+        assert!(text.contains("newton-cscfi"));
+        assert!(text.contains("HIJACKED"));
+        assert!(text.contains("detected"));
+    }
+
+    #[test]
+    fn extra_scenarios_follow_the_same_contract() {
+        for s in scenarios::extras() {
+            assert_eq!(
+                evaluate(&s, None),
+                Verdict::PayloadExecuted,
+                "{} must succeed unprotected",
+                s.id
+            );
+            for mech in [Mechanism::Stwc, Mechanism::Stc, Mechanism::Stl] {
+                let v = evaluate(&s, Some(mech));
+                assert!(
+                    matches!(v, Verdict::Detected(_)),
+                    "{} under {}: {v:?}",
+                    s.id,
+                    mech
+                );
+            }
+            for d in DEFENSES {
+                check_benign(&s, d)
+                    .unwrap_or_else(|e| panic!("{} benign under {}: {e}", s.id, defense_name(d)));
+            }
+        }
+        // The same-type substitutions in the extras evade PARTS, like
+        // their Table 1 cousins.
+        for s in scenarios::extras() {
+            let v = evaluate(&s, Some(Mechanism::Parts));
+            if ["ghttpd-fig2", "uaf-session-replay"].contains(&s.id) {
+                assert_eq!(v, Verdict::PayloadExecuted, "{}: {v:?}", s.id);
+            } else {
+                assert!(v.stopped(), "{}: {v:?}", s.id);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_metadata_matches_paper_shape() {
+        let all = scenarios::all();
+        assert_eq!(all.len(), 12, "Table 1 has 12 rows");
+        let cf = all.iter().filter(|s| s.category == Category::ControlFlow).count();
+        let dd = all.iter().filter(|s| s.category == Category::DataOriented).count();
+        assert_eq!(cf, 10);
+        assert_eq!(dd, 2);
+        let synthetic = all.iter().filter(|s| s.kind == AttackKind::Synthetic).count();
+        assert_eq!(synthetic, 3, "COOP REC-G, ML-G, PittyPat are synthetic");
+    }
+}

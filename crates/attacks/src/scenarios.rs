@@ -1,0 +1,768 @@
+//! The Table 1 attack corpus.
+//!
+//! Every row of the paper's Table 1 is re-created as a MiniC victim whose
+//! pointer **scope-type relationships mirror the table**: the corrupted
+//! pointer has the row's original type/scope/permission, and the attacker
+//! substitutes a value with the row's corrupted type/scope. The detection
+//! verdicts are then *derived* by actually running the attack in the VM —
+//! nothing is scripted.
+//!
+//! Two corruption shapes appear, matching how the real exploits work:
+//!
+//! * **raw writes** (code addresses sprayed by a buffer overflow) — these
+//!   carry no PAC and any PA-based scheme detects them;
+//! * **replay/substitution** (copying a *legitimately signed* pointer into
+//!   a different slot) — these defeat schemes whose modifier collides for
+//!   the two slots. This is where RSTI's refined scope-type beats the
+//!   PARTS baseline (§6.1.2): `dop-proftpd` and `pittypat-coop` substitute
+//!   same-basic-type pointers, which PARTS cannot distinguish.
+
+use crate::harness::{AttackKind, Category, Corruption, Scenario};
+use rsti_vm::{ExecResult, Vm};
+
+// ---- shared resolvers ------------------------------------------------------
+
+fn heap0_fnptr_slot(vm: &Vm) -> Option<u64> {
+    // First heap object, function pointer at offset 8 (all victim structs
+    // put a `long` first).
+    vm.heap_live().first().map(|&(a, _)| a + 8)
+}
+
+fn heap1_fnptr_slot(vm: &Vm) -> Option<u64> {
+    vm.heap_live().get(1).map(|&(a, _)| a + 8)
+}
+
+fn events_contain(r: &ExecResult, name: &str) -> bool {
+    r.events.iter().any(|e| e.name == name)
+}
+
+fn output_contains(r: &ExecResult, s: &str) -> bool {
+    r.output.iter().any(|o| o == s)
+}
+
+/// All Table 1 scenarios, in the paper's row order.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        newton_cscfi(),
+        aocr_nginx_1(),
+        aocr_nginx_2(),
+        aocr_apache(),
+        control_jujutsu(),
+        cve_2015_8668(),
+        cve_2014_1912(),
+        coop_rec_g(),
+        coop_ml_g(),
+        pittypat_coop(),
+        dop_proftpd(),
+        newton_cpi(),
+    ]
+}
+
+// ---- control-flow hijacking -------------------------------------------------
+
+/// NEWTON CsCFI attack (van der Veen et al.): overwrite NGINX's
+/// `c->send_chain` with the address of libc `malloc`.
+fn newton_cscfi() -> Scenario {
+    Scenario {
+        id: "newton-cscfi",
+        name: "NEWTON CsCFI attack",
+        category: Category::ControlFlow,
+        kind: AttackKind::Real,
+        corrupted_ptr: "c->send_chain (target: malloc)",
+        original_info: "type ngx_send_chain_pt, scope ngx_http_write_filter",
+        corrupted_info: "type void* (size_t size), scope libc",
+        source: r#"
+            extern void* libc_malloc(long size);
+            struct connection {
+                long fd;
+                long (*send_chain)(struct connection* c);
+            };
+            struct connection* g_conn;
+            long ngx_output_chain(struct connection* c) {
+                c->fd = c->fd + 1;
+                return c->fd;
+            }
+            void ngx_http_write_filter() {
+                g_conn->send_chain(g_conn);
+            }
+            int main() {
+                g_conn = (struct connection*) malloc(sizeof(struct connection));
+                g_conn->fd = 3;
+                g_conn->send_chain = ngx_output_chain;
+                ngx_http_write_filter();
+                return 0;
+            }
+        "#,
+        pause_at: "ngx_http_write_filter",
+        corruption: Corruption::RawWrite {
+            dest: heap0_fnptr_slot,
+            value: |vm| vm.func_addr("libc_malloc"),
+        },
+        payload_check: |r| events_contain(r, "libc_malloc"),
+    }
+}
+
+/// AOCR NGINX attack 1 (Rudd et al.): `task->handler` redirected to libc
+/// `_IO_new_file_overflow`.
+fn aocr_nginx_1() -> Scenario {
+    Scenario {
+        id: "aocr-nginx-1",
+        name: "AOCR NGINX Attack 1",
+        category: Category::ControlFlow,
+        kind: AttackKind::Real,
+        corrupted_ptr: "task->handler (target: _IO_new_file_overflow)",
+        original_info: "type void (*)(void*, ngx_log_t*), scope ngx_thread_pool_cycle",
+        corrupted_info: "type int*(File*, int), scope libc",
+        source: r#"
+            extern int _IO_new_file_overflow(void* f, int ch);
+            struct task {
+                long id;
+                void (*handler)(void* data);
+                void* data;
+            };
+            struct task* g_task;
+            void worker_handler(void* data) { }
+            void ngx_thread_pool_cycle() {
+                g_task->handler(g_task->data);
+            }
+            int main() {
+                g_task = (struct task*) malloc(sizeof(struct task));
+                g_task->id = 1;
+                g_task->handler = worker_handler;
+                g_task->data = null;
+                ngx_thread_pool_cycle();
+                return 0;
+            }
+        "#,
+        pause_at: "ngx_thread_pool_cycle",
+        corruption: Corruption::RawWrite {
+            dest: heap0_fnptr_slot,
+            value: |vm| vm.func_addr("_IO_new_file_overflow"),
+        },
+        payload_check: |r| events_contain(r, "_IO_new_file_overflow"),
+    }
+}
+
+/// AOCR NGINX attack 2: `log->handler` replaced with a *legitimately
+/// signed* pointer to `ngx_master_process_cycle` replayed from another
+/// slot — a substitution, not a raw write.
+fn aocr_nginx_2() -> Scenario {
+    Scenario {
+        id: "aocr-nginx-2",
+        name: "AOCR NGINX Attack 2",
+        category: Category::ControlFlow,
+        kind: AttackKind::Real,
+        corrupted_ptr: "p = log->handler (target: ngx_master_process_cycle)",
+        original_info: "type ngx_log_writer_pt, scope ngx_log_set_levels",
+        corrupted_info: "type void*(ngx_cycle_t*), scope main",
+        source: r#"
+            extern void exec(char* cmd);
+            struct cycle_s { long n; };
+            struct log_s {
+                long level;
+                void (*handler)(struct log_s* log, char* msg);
+            };
+            struct log_s* g_log;
+            void (*g_proc)(struct cycle_s* c);
+            void ngx_master_process_cycle(struct cycle_s* c) {
+                exec("/bin/sh");
+            }
+            void default_log_writer(struct log_s* log, char* msg) {
+                log->level = log->level + 1;
+            }
+            void ngx_log_set_levels(struct log_s* log) {
+                log->handler = default_log_writer;
+            }
+            void ngx_log_write() {
+                g_log->handler(g_log, "error");
+            }
+            int main() {
+                g_log = (struct log_s*) malloc(sizeof(struct log_s));
+                ngx_log_set_levels(g_log);
+                g_proc = ngx_master_process_cycle;
+                ngx_log_write();
+                return 0;
+            }
+        "#,
+        pause_at: "ngx_log_write",
+        corruption: Corruption::Replay {
+            src: |vm| vm.global_addr("g_proc"),
+            dest: heap0_fnptr_slot,
+        },
+        payload_check: |r| events_contain(r, "exec"),
+    }
+}
+
+/// AOCR Apache attack: `eval->errfn` substituted with the signed pointer
+/// to `ap_get_exec_line` held elsewhere.
+fn aocr_apache() -> Scenario {
+    Scenario {
+        id: "aocr-apache",
+        name: "AOCR Apache Attack",
+        category: Category::ControlFlow,
+        kind: AttackKind::Real,
+        corrupted_ptr: "eval->errfn (target: ap_get_exec_line)",
+        original_info: "type sed_err_fn_t, scope sed_reset_eval/eval_errf",
+        corrupted_info: "type char*(apr_pool_t*, const char*, ...), scope set_bind_password",
+        source: r#"
+            extern void exec(char* cmd);
+            struct eval_s {
+                long state;
+                void (*errfn)(struct eval_s* e, char* msg);
+            };
+            struct eval_s* g_eval;
+            char* (*g_exec_line)(void* pool, char* cmd);
+            char* ap_get_exec_line(void* pool, char* cmd) {
+                exec(cmd);
+                return cmd;
+            }
+            void set_bind_password() {
+                g_exec_line = ap_get_exec_line;
+            }
+            void sed_errfn(struct eval_s* e, char* msg) {
+                e->state = e->state + 1;
+            }
+            void sed_reset_eval(struct eval_s* e) {
+                e->errfn = sed_errfn;
+            }
+            void eval_errf() {
+                g_eval->errfn(g_eval, "sed: bad expression");
+            }
+            int main() {
+                g_eval = (struct eval_s*) malloc(sizeof(struct eval_s));
+                sed_reset_eval(g_eval);
+                set_bind_password();
+                eval_errf();
+                return 0;
+            }
+        "#,
+        pause_at: "eval_errf",
+        corruption: Corruption::Replay {
+            src: |vm| vm.global_addr("g_exec_line"),
+            dest: heap0_fnptr_slot,
+        },
+        payload_check: |r| events_contain(r, "exec"),
+    }
+}
+
+/// Control Jujutsu (Evans et al.): `ctx->output_filter` substituted with
+/// the signed `ngx_execute_proc` pointer.
+fn control_jujutsu() -> Scenario {
+    Scenario {
+        id: "control-jujutsu",
+        name: "Control Jujutsu NGINX",
+        category: Category::ControlFlow,
+        kind: AttackKind::Real,
+        corrupted_ptr: "ctx->output_filter (target: ngx_execute_proc)",
+        original_info: "type ngx_output_chain_filter_pt, scope ngx_output_chain",
+        corrupted_info: "type static void*(ngx_cycle_t*, void*), scope ngx_execute",
+        source: r#"
+            extern void exec(char* cmd);
+            struct chain_ctx {
+                long n;
+                long (*output_filter)(struct chain_ctx* c, void* data);
+            };
+            long (*g_spawn)(void* cycle, void* data);
+            long ngx_execute_proc(void* cycle, void* data) {
+                exec("/bin/sh");
+                return 0;
+            }
+            void ngx_execute() {
+                g_spawn = ngx_execute_proc;
+            }
+            long default_filter(struct chain_ctx* c, void* data) {
+                c->n = c->n + 1;
+                return c->n;
+            }
+            long ngx_output_chain(struct chain_ctx* ctx) {
+                return ctx->output_filter(ctx, null);
+            }
+            int main() {
+                struct chain_ctx* ctx = (struct chain_ctx*) malloc(sizeof(struct chain_ctx));
+                ctx->n = 0;
+                ctx->output_filter = default_filter;
+                ngx_execute();
+                ngx_output_chain(ctx);
+                return 0;
+            }
+        "#,
+        pause_at: "ngx_output_chain",
+        corruption: Corruption::Replay {
+            src: |vm| vm.global_addr("g_spawn"),
+            dest: heap0_fnptr_slot,
+        },
+        payload_check: |r| events_contain(r, "exec"),
+    }
+}
+
+/// CVE-2015-8668 (libtiff, the paper's Figure 1): heap overflow from
+/// `uncomprbuf` into the adjacent TIFF object, overwriting
+/// `tif_encoderow` with an arbitrary address (here: libc `system`).
+fn cve_2015_8668() -> Scenario {
+    Scenario {
+        id: "cve-2015-8668",
+        name: "CVE-2015-8668 (libtiff)",
+        category: Category::ControlFlow,
+        kind: AttackKind::Real,
+        corrupted_ptr: "tif->tif_encoderow (target: arbitrary pointer)",
+        original_info: "type TIFFCodeMethod, scope _TIFFSetDefaultCompression/TIFFWriteScanline/TIFFOpen/main",
+        corrupted_info: "unknown (CVE): attacker-chosen address",
+        source: r#"
+            extern void system(char* cmd);
+            struct tiff {
+                long tif_scanlinesize;
+                void (*tif_encoderow)(struct tiff* t);
+            };
+            struct tiff* g_out;
+            void default_encoderow(struct tiff* t) {
+                t->tif_scanlinesize = t->tif_scanlinesize + 1;
+            }
+            void _TIFFSetDefaultCompressionState(struct tiff* t) {
+                t->tif_encoderow = default_encoderow;
+            }
+            struct tiff* TIFFOpen() {
+                struct tiff* t = (struct tiff*) malloc(sizeof(struct tiff));
+                t->tif_scanlinesize = 0;
+                _TIFFSetDefaultCompressionState(t);
+                return t;
+            }
+            void TIFFWriteScanline(struct tiff* t) {
+                t->tif_encoderow(t);
+            }
+            int main() {
+                // Unsanitized size: uncomprbuf can be too small (Figure 1).
+                char* uncomprbuf = (char*) malloc(64);
+                g_out = TIFFOpen();
+                uncomprbuf[0] = 'P';
+                TIFFWriteScanline(g_out);
+                return 0;
+            }
+        "#,
+        pause_at: "TIFFWriteScanline",
+        // The overflow from allocation 0 (uncomprbuf) lands in allocation 1
+        // (the TIFF object) — the VM's bump allocator keeps them adjacent,
+        // exactly the heap-grooming the real exploit relies on.
+        corruption: Corruption::RawWrite {
+            dest: heap1_fnptr_slot,
+            value: |vm| vm.func_addr("system"),
+        },
+        payload_check: |r| events_contain(r, "system"),
+    }
+}
+
+/// CVE-2014-1912 (CPython): corrupting `tp->tp_hash` to an arbitrary
+/// target, triggered through `PyObject_Hash`.
+fn cve_2014_1912() -> Scenario {
+    Scenario {
+        id: "cve-2014-1912",
+        name: "CVE-2014-1912 (CPython)",
+        category: Category::ControlFlow,
+        kind: AttackKind::Real,
+        corrupted_ptr: "tp->tp_hash (target: arbitrary pointer)",
+        original_info: "type hashfunc, scope inherit_slots/PyObject_Hash",
+        corrupted_info: "unknown (CVE): attacker-chosen address",
+        source: r#"
+            extern void system(char* cmd);
+            struct typeobject {
+                long refcnt;
+                long (*tp_hash)(void* obj);
+            };
+            struct typeobject* g_type;
+            long default_hash(void* obj) { return 42; }
+            void inherit_slots(struct typeobject* tp) {
+                tp->tp_hash = default_hash;
+            }
+            long PyObject_Hash(void* obj) {
+                return g_type->tp_hash(obj);
+            }
+            int main() {
+                g_type = (struct typeobject*) malloc(sizeof(struct typeobject));
+                g_type->refcnt = 1;
+                inherit_slots(g_type);
+                long h = PyObject_Hash(null);
+                return (int) h;
+            }
+        "#,
+        pause_at: "PyObject_Hash",
+        corruption: Corruption::RawWrite {
+            dest: heap0_fnptr_slot,
+            value: |vm| vm.func_addr("system"),
+        },
+        payload_check: |r| events_contain(r, "system"),
+    }
+}
+
+/// COOP REC-G (Crane et al., synthetic): substitute `objB->unref` (class
+/// X) with the signed virtual-destructor pointer of class Z. Same function
+/// signature, different composite scope — a counterfeit-object call.
+fn coop_rec_g() -> Scenario {
+    Scenario {
+        id: "coop-rec-g",
+        name: "COOP REC-G",
+        category: Category::ControlFlow,
+        kind: AttackKind::Synthetic,
+        corrupted_ptr: "objB->unref (target: virtual ~Z())",
+        original_info: "type class X, scope class X",
+        corrupted_info: "type class Z, scope class Z",
+        source: r#"
+            struct X {
+                long refs;
+                void (*unref)(void* self);
+            };
+            struct Z {
+                long refs;
+                void (*dtor)(void* self);
+            };
+            struct X* objB;
+            struct Z* objZ;
+            void x_unref(void* self) { }
+            void z_dtor(void* self) { print_str("~Z() gadget"); }
+            void release_all() {
+                objB->unref(objB);
+            }
+            int main() {
+                objB = (struct X*) malloc(sizeof(struct X));
+                objZ = (struct Z*) malloc(sizeof(struct Z));
+                objB->unref = x_unref;
+                objZ->dtor = z_dtor;
+                release_all();
+                return 0;
+            }
+        "#,
+        pause_at: "release_all",
+        corruption: Corruption::Replay {
+            src: heap1_fnptr_slot,  // objZ->dtor, legitimately signed
+            dest: heap0_fnptr_slot, // objB->unref
+        },
+        payload_check: |r| output_contains(r, "~Z() gadget"),
+    }
+}
+
+/// COOP ML-G (Schuster et al., synthetic): the main-loop gadget invokes
+/// `students[i]->decCourseCount`, substituted with `~Course()`.
+fn coop_ml_g() -> Scenario {
+    Scenario {
+        id: "coop-ml-g",
+        name: "COOP ML-G",
+        category: Category::ControlFlow,
+        kind: AttackKind::Synthetic,
+        corrupted_ptr: "students[i]->decCourseCount() (target: virtual ~Course())",
+        original_info: "type void*(), scope class Student/class Course",
+        corrupted_info: "type class Course, scope class Course",
+        source: r#"
+            struct Student {
+                long id;
+                void (*decCourseCount)(void* self);
+            };
+            struct Course {
+                long id;
+                void (*dtor)(void* self);
+            };
+            struct Student* g_student;
+            struct Course* g_course;
+            void student_dec(void* self) { }
+            void course_dtor(void* self) { print_str("~Course() gadget"); }
+            void main_loop() {
+                g_student->decCourseCount(g_student);
+            }
+            int main() {
+                g_student = (struct Student*) malloc(sizeof(struct Student));
+                g_course = (struct Course*) malloc(sizeof(struct Course));
+                g_student->decCourseCount = student_dec;
+                g_course->dtor = course_dtor;
+                main_loop();
+                return 0;
+            }
+        "#,
+        pause_at: "main_loop",
+        corruption: Corruption::Replay {
+            src: heap1_fnptr_slot,
+            dest: heap0_fnptr_slot,
+        },
+        payload_check: |r| output_contains(r, "~Course() gadget"),
+    }
+}
+
+/// The PittyPat COOP attack (Ding et al., synthetic): two same-typed
+/// `registration` members in different classes; the attacker makes the
+/// Teacher object dispatch the Student handler. PARTS cannot detect this
+/// (same basic type); RSTI's composite scope can (§6.1.2).
+fn pittypat_coop() -> Scenario {
+    Scenario {
+        id: "pittypat-coop",
+        name: "PittyPat COOP Attack",
+        category: Category::ControlFlow,
+        kind: AttackKind::Synthetic,
+        corrupted_ptr: "member_2->registration (target: member_1->registration)",
+        original_info: "type void*(), scope main/class Teacher",
+        corrupted_info: "type void*(), scope main/class Student",
+        source: r#"
+            struct Student {
+                long id;
+                void (*registration)(void* self);
+            };
+            struct Teacher {
+                long id;
+                void (*registration)(void* self);
+            };
+            struct Student* member_1;
+            struct Teacher* member_2;
+            void student_registration(void* self) { print_str("student-registration"); }
+            void teacher_registration(void* self) { print_str("teacher-registration"); }
+            void register_teacher() {
+                member_2->registration(member_2);
+            }
+            int main() {
+                member_1 = (struct Student*) malloc(sizeof(struct Student));
+                member_2 = (struct Teacher*) malloc(sizeof(struct Teacher));
+                member_1->registration = student_registration;
+                member_2->registration = teacher_registration;
+                register_teacher();
+                return 0;
+            }
+        "#,
+        pause_at: "register_teacher",
+        corruption: Corruption::Replay {
+            src: heap0_fnptr_slot,  // member_1->registration (Student)
+            dest: heap1_fnptr_slot, // member_2->registration (Teacher)
+        },
+        payload_check: |r| output_contains(r, "student-registration"),
+    }
+}
+
+// ---- data-oriented attacks ---------------------------------------------------
+
+/// The DOP ProFTPd attack (Hu et al.): substitute the `&ServerName` data
+/// pointer with `resp_buf` so that the response path leaks the secret
+/// buffer (the SSL key in the original exploit). `const char*` vs `char*`,
+/// different scopes — detected by RSTI, missed by PARTS (§6.1.2).
+fn dop_proftpd() -> Scenario {
+    Scenario {
+        id: "dop-proftpd",
+        name: "DOP ProFTPd Attack",
+        category: Category::DataOriented,
+        kind: AttackKind::Real,
+        corrupted_ptr: "&ServerName (target: resp_buf / ssl_ctx)",
+        original_info: "type const char*, scope core_display_file",
+        corrupted_info: "type char*, scope pr_response_send_raw",
+        source: r#"
+            extern void send_response(char* s);
+            const char* ServerName = "ftp.example.org";
+            char* resp_buf;
+            void pr_response_send_raw() {
+                resp_buf[0] = 'K';
+            }
+            void core_display_file() {
+                send_response(ServerName);
+            }
+            int main() {
+                resp_buf = (char*) malloc(64);
+                pr_response_send_raw();
+                core_display_file();
+                return 0;
+            }
+        "#,
+        pause_at: "core_display_file",
+        corruption: Corruption::Replay {
+            src: |vm| vm.global_addr("resp_buf"),
+            dest: |vm| vm.global_addr("ServerName"),
+        },
+        // The payload leaks a heap address (the secret buffer) instead of
+        // the string-literal segment the banner legitimately lives in.
+        payload_check: |r| {
+            r.events.iter().any(|e| {
+                e.name == "send_response"
+                    && e.args.first().is_some_and(|a| a.starts_with("0x4000"))
+            })
+        },
+    }
+}
+
+/// NEWTON CPI attack: `v[index].get_handler` redirected to libc `dlopen`.
+fn newton_cpi() -> Scenario {
+    Scenario {
+        id: "newton-cpi",
+        name: "NEWTON CPI attack",
+        category: Category::DataOriented,
+        kind: AttackKind::Real,
+        corrupted_ptr: "v[index].get_handler (target: dlopen)",
+        original_info: "type ngx_http_get_variable_pt, scope ngx_http_get_indexed_variable",
+        corrupted_info: "type void*(const char*, int), scope ngx_load_module",
+        source: r#"
+            extern void* dlopen(char* filename, int flags);
+            struct variable {
+                long flags;
+                long (*get_handler)(struct variable* v);
+            };
+            struct variable* g_vars;
+            long default_get(struct variable* v) { return v->flags; }
+            long ngx_http_get_indexed_variable(int index) {
+                struct variable* v = g_vars + index;
+                return v->get_handler(v);
+            }
+            int main() {
+                g_vars = (struct variable*) malloc(4 * sizeof(struct variable));
+                for (int i = 0; i < 4; i = i + 1) {
+                    struct variable* v = g_vars + i;
+                    v->flags = i;
+                    v->get_handler = default_get;
+                }
+                long r = ngx_http_get_indexed_variable(2);
+                return (int) r;
+            }
+        "#,
+        pause_at: "ngx_http_get_indexed_variable",
+        corruption: Corruption::RawWrite {
+            // v[2].get_handler = element 2 * 16 bytes + offset 8
+            dest: |vm| vm.heap_live().first().map(|&(a, _)| a + 2 * 16 + 8),
+            value: |vm| vm.func_addr("dlopen"),
+        },
+        payload_check: |r| events_contain(r, "dlopen"),
+    }
+}
+
+// ---- beyond Table 1: additional exploit classes ------------------------------
+
+/// Extra scenarios beyond the paper's Table 1 rows: the Figure 2 GHTTPD
+/// data-oriented check bypass, a GOT-style global function-pointer table
+/// overwrite, and a temporal (use-after-free replay) exploit.
+pub fn extras() -> Vec<Scenario> {
+    vec![ghttpd_fig2(), got_overwrite(), uaf_session_replay()]
+}
+
+/// The paper's Figure 2: GHTTPD's `ptr` is corrupted between the `/..`
+/// validation and the CGI dispatch — pure data-oriented check bypass.
+fn ghttpd_fig2() -> Scenario {
+    Scenario {
+        id: "ghttpd-fig2",
+        name: "GHTTPD check bypass (Figure 2)",
+        category: Category::DataOriented,
+        kind: AttackKind::Real,
+        corrupted_ptr: "ptr (request) -> attacker upload buffer",
+        original_info: "type char*, scope serveconnection",
+        corrupted_info: "type char*, scope recv_upload",
+        source: r#"
+            extern void exec_cgi(char* path);
+            char* request;
+            char* upload_buf;
+            void recv_upload() {
+                upload_buf = (char*) malloc(64);
+                upload_buf[0] = '/';
+                upload_buf[1] = '.';
+                upload_buf[2] = '.';
+                upload_buf[3] = '\0';
+            }
+            void handle_cgi() { exec_cgi(request); }
+            int serveconnection() {
+                request = "cgi-bin/status";
+                handle_cgi();
+                return 200;
+            }
+            int main() {
+                recv_upload();
+                return serveconnection() - 200;
+            }
+        "#,
+        pause_at: "handle_cgi",
+        corruption: Corruption::Replay {
+            src: |vm| vm.global_addr("upload_buf"),
+            dest: |vm| vm.global_addr("request"),
+        },
+        payload_check: |r| {
+            r.events.iter().any(|e| {
+                e.name == "exec_cgi"
+                    && e.args.first().is_some_and(|a| a.starts_with("0x4000"))
+            })
+        },
+    }
+}
+
+/// GOT-style attack: a global dispatch table of function pointers; one
+/// entry is overwritten with the raw address of libc `system`.
+fn got_overwrite() -> Scenario {
+    Scenario {
+        id: "got-overwrite",
+        name: "GOT-style table overwrite",
+        category: Category::ControlFlow,
+        kind: AttackKind::Synthetic,
+        corrupted_ptr: "got[1] (target: system)",
+        original_info: "type void(*)(), scope resolve_and_call",
+        corrupted_info: "type int (const char*), scope libc",
+        source: r#"
+            extern void system(char* cmd);
+            struct got_entry { long idx; void (*fn)(); };
+            struct got_entry* g_got;
+            void impl_a() { }
+            void impl_b() { }
+            void resolve_and_call(int slot) {
+                struct got_entry* e = g_got + slot;
+                e->fn();
+            }
+            int main() {
+                g_got = (struct got_entry*) malloc(2 * sizeof(struct got_entry));
+                struct got_entry* e0 = g_got;
+                e0->idx = 0;
+                e0->fn = impl_a;
+                struct got_entry* e1 = g_got + 1;
+                e1->idx = 1;
+                e1->fn = impl_b;
+                resolve_and_call(1);
+                return 0;
+            }
+        "#,
+        pause_at: "resolve_and_call",
+        corruption: Corruption::RawWrite {
+            dest: |vm| vm.heap_live().first().map(|&(a, _)| a + 16 + 8),
+            value: |vm| vm.func_addr("system"),
+        },
+        payload_check: |r| events_contain(r, "system"),
+    }
+}
+
+/// Temporal exploit: a freed session object's (still validly signed)
+/// pointer is replayed into the active-session slot; the victim then
+/// operates on freed memory the attacker controls.
+fn uaf_session_replay() -> Scenario {
+    Scenario {
+        id: "uaf-session-replay",
+        name: "Use-after-free session replay",
+        category: Category::DataOriented,
+        kind: AttackKind::Synthetic,
+        corrupted_ptr: "active (target: freed stale session)",
+        original_info: "type struct sess*, scope session_setup/serve",
+        corrupted_info: "type struct sess*, scope session_setup (freed)",
+        source: r#"
+            extern void grant_access(long uid);
+            struct sess { long uid; };
+            struct sess* stale;
+            struct sess* active;
+            void session_setup() {
+                stale = (struct sess*) malloc(sizeof(struct sess));
+                stale->uid = 0;
+                free(stale);
+                active = (struct sess*) malloc(sizeof(struct sess));
+                active->uid = 1000;
+            }
+            void serve() {
+                grant_access(active->uid);
+            }
+            int main() {
+                session_setup();
+                serve();
+                return 0;
+            }
+        "#,
+        pause_at: "serve",
+        corruption: Corruption::Replay {
+            src: |vm| vm.global_addr("stale"),
+            dest: |vm| vm.global_addr("active"),
+        },
+        // Payload: access granted for the attacker-controlled freed
+        // object's uid (0 = root) instead of the active session's 1000.
+        payload_check: |r| {
+            r.events
+                .iter()
+                .any(|e| e.name == "grant_access" && e.args.first().is_some_and(|a| a == "0"))
+        },
+    }
+}

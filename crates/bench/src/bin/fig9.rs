@@ -1,0 +1,6 @@
+//! Regenerates Figure 9: per-benchmark overhead and suite geomeans.
+
+fn main() {
+    let fig9 = rsti_bench::Fig9::measure();
+    print!("{}", fig9.render());
+}

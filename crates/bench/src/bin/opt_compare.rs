@@ -1,0 +1,64 @@
+//! The optimization ablation (§4.7.2 / §6.3.2): overhead with naive
+//! instrumentation vs with redundant-authentication elision — the
+//! reproduction's stand-in for "intrinsics optimized by the compiler".
+
+use rsti_core::Mechanism;
+use rsti_vm::{Image, Status, Vm};
+
+fn cycles(img: &Image) -> u64 {
+    let mut vm = Vm::new(img);
+    vm.set_fuel(200_000_000);
+    let r = vm.run();
+    assert!(matches!(r.status, Status::Exited(0)));
+    r.cycles
+}
+
+fn main() {
+    println!(
+        "Optimization-pipeline ablation over SPEC2006 proxies\n\
+         (STWC overhead %% vs the *unoptimized* baseline at each stage —\n\
+         the engineering the paper credits for beating PARTS, §6.3.2):\n"
+    );
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9}",
+        "BM", "naive", "+inline", "+promote", "+elide"
+    );
+    for w in rsti_workloads::spec2006() {
+        let m0 = w.module();
+        let base = cycles(&Image::baseline(&m0)) as f64;
+        let pct = |c: u64| (c as f64 / base - 1.0) * 100.0;
+
+        // Stage 0: naive instrumentation.
+        let naive = pct(cycles(&Image::from_instrumented(&rsti_core::instrument(
+            &m0,
+            Mechanism::Stwc,
+        ))));
+        // Stage 1: + leaf inlining (before the pass, like LTO).
+        let mut m1 = m0.clone();
+        rsti_core::inline_leaf_functions(&mut m1, 96);
+        let s1 = pct(cycles(&Image::from_instrumented(&rsti_core::instrument(
+            &m1,
+            Mechanism::Stwc,
+        ))));
+        // Stage 2: + register promotion.
+        let mut p2 = rsti_core::instrument(&m1, Mechanism::Stwc);
+        rsti_core::optimize::promote_single_store_slots(&mut p2.module);
+        rsti_core::optimize::patch_placeholder_types(&mut p2.module);
+        let s2 = pct(cycles(&Image::from_instrumented(&p2)));
+        // Stage 3: + redundant-auth elision (the full pipeline).
+        let mut p3 = rsti_core::instrument(&m1, Mechanism::Stwc);
+        rsti_core::optimize_program(&mut p3);
+        let s3 = pct(cycles(&Image::from_instrumented(&p3)));
+
+        println!(
+            "{:<12} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
+            w.name, naive, s1, s2, s3
+        );
+    }
+    println!(
+        "\nStages: leaf inlining models LTO; promotion keeps authenticated\n\
+         pointers in registers (§4.7.2); elision removes same-block\n\
+         re-checks. All are sound under the §3 threat model (registers are\n\
+         out of the attacker's reach) and differential-tested."
+    );
+}

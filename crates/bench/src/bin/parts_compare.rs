@@ -1,0 +1,5 @@
+//! Regenerates the §6.3.2 PARTS-vs-RSTI nbench comparison.
+
+fn main() {
+    print!("{}", rsti_bench::render_parts_compare());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the §6.2.2 pointer-to-pointer census.
+
+fn main() {
+    print!("{}", rsti_bench::render_pp_census());
+}

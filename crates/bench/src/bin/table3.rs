@@ -1,0 +1,5 @@
+//! Regenerates Table 3: SPEC 2006 equivalence-class data.
+
+fn main() {
+    print!("{}", rsti_bench::render_table3());
+}

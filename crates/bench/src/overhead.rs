@@ -1,0 +1,212 @@
+//! Overhead measurement: the machinery behind Figures 9 and 10.
+//!
+//! For every workload we execute the uninstrumented baseline and each
+//! mechanism in the cycle-model VM and report the overhead ratio. The
+//! paper measures wall-clock on an Apple M1; our deterministic cycle model
+//! (PA op = 7 ALU ops, the paper's own emulation factor) reproduces the
+//! *shape*: STC < STWC < STL, pointer-heavy outliers, near-zero nbench.
+
+use rsti_core::Mechanism;
+use rsti_vm::{Image, Status, Vm};
+use rsti_workloads::{Suite, Workload};
+
+/// Mechanisms in report column order.
+pub const MECHS: [Mechanism; 3] = [Mechanism::Stwc, Mechanism::Stc, Mechanism::Stl];
+
+/// One benchmark's overhead measurements.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Baseline cycles.
+    pub base_cycles: u64,
+    /// Cycles under `[STWC, STC, STL]`.
+    pub cycles: [u64; 3],
+    /// Overhead percentages under `[STWC, STC, STL]`.
+    pub overhead_pct: [f64; 3],
+    /// Instrumented pointer load/store sites under STWC (for the
+    /// correlation analysis of §6.3.2).
+    pub instrumented_sites: usize,
+}
+
+fn run_cycles(img: &Image) -> u64 {
+    let mut vm = Vm::new(img);
+    vm.set_fuel(200_000_000);
+    let r = vm.run();
+    assert!(
+        matches!(r.status, Status::Exited(0)),
+        "workload must run cleanly: {:?}",
+        r.status
+    );
+    r.cycles
+}
+
+/// Measures one workload under the baseline and all three mechanisms.
+///
+/// Both sides run through the O2-model optimizer (register promotion +
+/// redundant-auth elision), mirroring the paper's "compiled with LTO and
+/// O2 for fair comparison" methodology (§6.3.1).
+pub fn measure(w: &Workload) -> OverheadRow {
+    let mut m = w.module();
+    rsti_core::inline_leaf_functions(&mut m, 96);
+    let mut mb = m.clone();
+    rsti_core::optimize_baseline(&mut mb);
+    let base = run_cycles(&Image::baseline(&mb));
+    let mut cycles = [0u64; 3];
+    let mut pct = [0f64; 3];
+    let mut sites = 0;
+    for (i, mech) in MECHS.iter().enumerate() {
+        let mut p = rsti_core::instrument(&m, *mech);
+        rsti_core::optimize_program(&mut p);
+        if *mech == Mechanism::Stwc {
+            sites = p.stats.signs_on_store + p.stats.auths_on_load;
+        }
+        let c = run_cycles(&Image::from_instrumented(&p));
+        cycles[i] = c;
+        pct[i] = (c as f64 / base as f64 - 1.0) * 100.0;
+    }
+    OverheadRow {
+        name: w.name.to_string(),
+        suite: w.suite,
+        base_cycles: base,
+        cycles,
+        overhead_pct: pct,
+        instrumented_sites: sites,
+    }
+}
+
+/// Measures a whole suite.
+pub fn measure_suite(ws: &[Workload]) -> Vec<OverheadRow> {
+    ws.iter().map(measure).collect()
+}
+
+/// Geometric mean of overhead *ratios* reported back as a percentage
+/// (the paper's aggregation).
+pub fn geomean_pct(pcts: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0f64, 0u32);
+    for p in pcts {
+        log_sum += (1.0 + p / 100.0).ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    ((log_sum / n as f64).exp() - 1.0) * 100.0
+}
+
+/// Five-number summary + geomean, for the Figure 10 box plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Geometric mean of the ratios, as a percentage.
+    pub geomean: f64,
+    /// Values beyond 1.5×IQR of the quartiles.
+    pub outliers: Vec<f64>,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+/// Computes box-plot statistics for a set of overhead percentages.
+pub fn box_stats(values: &[f64]) -> BoxStats {
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let q1 = percentile(&v, 0.25);
+    let q3 = percentile(&v, 0.75);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    BoxStats {
+        min: v.first().copied().unwrap_or(0.0),
+        q1,
+        median: percentile(&v, 0.5),
+        q3,
+        max: v.last().copied().unwrap_or(0.0),
+        geomean: geomean_pct(v.iter().copied()),
+        outliers: v.iter().copied().filter(|&x| x < lo || x > hi).collect(),
+    }
+}
+
+/// Pearson correlation coefficient (the §6.3.2 instrumentation-count vs
+/// overhead analysis).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        // ratios 1.1 and 1.21 → geomean ratio 1.1537... (sqrt(1.331))
+        let g = geomean_pct([10.0, 21.0]);
+        assert!((g - ((1.1f64 * 1.21).sqrt() - 1.0) * 100.0).abs() < 1e-9);
+        assert_eq!(geomean_pct([]), 0.0);
+    }
+
+    #[test]
+    fn box_stats_basics() {
+        let s = box_stats(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.outliers, vec![100.0]);
+    }
+
+    #[test]
+    fn pearson_on_known_data() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&xs, &[2.0, 4.0, 6.0, 8.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &[8.0, 6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_workload_overhead_shape() {
+        let w = rsti_workloads::nginx().remove(0);
+        let row = measure(&w);
+        // STC <= STWC <= STL
+        assert!(row.overhead_pct[1] <= row.overhead_pct[0] + 1e-9, "{row:?}");
+        assert!(row.overhead_pct[0] <= row.overhead_pct[2] + 1e-9, "{row:?}");
+        assert!(row.overhead_pct[0] > 0.0, "NGINX proxy is pointer-active: {row:?}");
+    }
+}

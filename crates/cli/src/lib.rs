@@ -1,0 +1,311 @@
+//! # rsti-cli — the `rsti` command-line driver
+//!
+//! A small front door over the whole pipeline:
+//!
+//! ```text
+//! rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive]
+//!                    [--backend pac|mac] [--optimize] [--stats]
+//! rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
+//! rsti instrument <file.mc> [--mech ...]        # dump instrumented IR
+//! rsti equivalence <file.mc>                    # Table 3 row for a file
+//! ```
+//!
+//! The command logic lives here (testable); `main.rs` only forwards
+//! `std::env::args`.
+
+#![warn(missing_docs)]
+
+use rsti_core::Mechanism;
+use rsti_vm::{Image, Status, Vm};
+use std::fmt::Write as _;
+
+/// Parses a mechanism name (`none` → `None`).
+///
+/// # Errors
+/// Returns a message for unknown names.
+pub fn parse_mechanism(s: &str) -> Result<Option<Mechanism>, String> {
+    Ok(Some(match s.to_ascii_lowercase().as_str() {
+        "stwc" | "rsti-stwc" => Mechanism::Stwc,
+        "stc" | "rsti-stc" => Mechanism::Stc,
+        "stl" | "rsti-stl" => Mechanism::Stl,
+        "parts" => Mechanism::Parts,
+        "none" | "baseline" => return Ok(None),
+        other => return Err(format!("unknown mechanism `{other}` (stwc|stc|stl|parts|none)")),
+    }))
+}
+
+/// Runs the CLI; returns (exit code, output text).
+pub fn run_cli(args: &[String]) -> (i32, String) {
+    match dispatch(args) {
+        Ok(out) => (0, out),
+        Err(e) => (1, format!("error: {e}\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac] [--optimize] [--stats]
+  rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
+  rsti instrument <file.mc> [--mech stwc|stc|stl|parts]
+  rsti equivalence <file.mc>
+";
+
+fn read_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn dispatch(args: &[String]) -> Result<String, String> {
+    let cmd = args.first().ok_or("missing command")?;
+    let file = args.get(1).ok_or("missing <file.mc>")?;
+    let src = read_source(file)?;
+    let module = rsti_frontend::compile(&src, file).map_err(|e| e.to_string())?;
+    let mech = match flag_value(args, "--mech") {
+        Some("adaptive") => Some(Mechanism::Stwc), // refined in `run`
+        Some(s) => parse_mechanism(s)?,
+        None => Some(Mechanism::Stwc),
+    };
+
+    match cmd.as_str() {
+        "run" => {
+            let mut out = String::new();
+            let adaptive = flag_value(args, "--mech") == Some("adaptive");
+            let optimize = args.iter().any(|a| a == "--optimize");
+            let (img, stats) = if adaptive {
+                let mut p =
+                    rsti_core::instrument_adaptive(&module, rsti_core::DEFAULT_ECV_THRESHOLD);
+                if optimize {
+                    rsti_core::optimize_program(&mut p);
+                }
+                let stats = p.stats;
+                (Image::from_instrumented(&p), Some(stats))
+            } else {
+                match mech {
+                    None => (Image::baseline(&module), None),
+                    Some(m) => {
+                        let mut p = rsti_core::instrument(&module, m);
+                        if optimize {
+                            rsti_core::optimize_program(&mut p);
+                        }
+                        let stats = p.stats;
+                        (Image::from_instrumented(&p), Some(stats))
+                    }
+                }
+            };
+            let img = match flag_value(args, "--backend") {
+                Some("mac") => img.with_backend(rsti_vm::Backend::MacTable),
+                Some("pac") | None => img,
+                Some(other) => {
+                    return Err(format!("unknown backend `{other}` (pac|mac)"))
+                }
+            };
+            let mut vm = Vm::new(&img);
+            let r = vm.run();
+            for line in &r.output {
+                let _ = writeln!(out, "{line}");
+            }
+            for e in &r.events {
+                let _ = writeln!(out, "[extern{}] {}({})",
+                    if e.critical { "!" } else { "" }, e.name, e.args.join(", "));
+            }
+            match &r.status {
+                Status::Exited(c) => {
+                    let _ = writeln!(out, "exit: {c}");
+                }
+                Status::Trapped(t) => {
+                    let _ = writeln!(out, "trap: {t}");
+                }
+            }
+            if args.iter().any(|a| a == "--stats") {
+                let _ = writeln!(
+                    out,
+                    "cycles: {}  insts: {}  pac signs: {}  pac auths: {}",
+                    r.cycles, r.insts, r.pac_signs, r.pac_auths
+                );
+                if let Some(s) = stats {
+                    let _ = writeln!(
+                        out,
+                        "instrumentation: {} store-signs, {} load-auths, {} cast-resigns, {} arg-resigns, {} strips, {} pp",
+                        s.signs_on_store, s.auths_on_load, s.cast_resigns,
+                        s.arg_resigns, s.strips, s.pp_signs
+                    );
+                }
+            }
+            Ok(out)
+        }
+        "analyze" => {
+            let m = mech.unwrap_or(Mechanism::Stwc);
+            let a = rsti_core::analyze(&module, m);
+            let mut out = String::new();
+            let _ = writeln!(out, "{} RSTI-types for `{file}`:", a.classes.len());
+            for (i, c) in a.classes.iter().enumerate() {
+                let tys: Vec<String> =
+                    c.types.iter().map(|t| module.types.display(*t)).collect();
+                let members: Vec<&str> =
+                    c.members.iter().map(|&v| a.facts.vars[v].name.as_str()).collect();
+                let _ = writeln!(
+                    out,
+                    "M{:<3} types[{}] perm {} modifier {:#018x}\n     members: {}",
+                    i + 1,
+                    tys.join(", "),
+                    if c.writable { "R/W" } else { "R" },
+                    c.modifier,
+                    members.join(", ")
+                );
+            }
+            Ok(out)
+        }
+        "instrument" => {
+            let m = mech.unwrap_or(Mechanism::Stwc);
+            let p = rsti_core::instrument(&module, m);
+            Ok(rsti_ir::print_module(&p.module))
+        }
+        "equivalence" => {
+            let s = rsti_core::equivalence_stats(&module);
+            Ok(format!(
+                "NT {}  RT(STC) {}  RT(STWC) {}  RT(STL) {}  NV {}\nlargest ECV: STC {} STWC {}\nlargest ECT: STC {} STWC {}\n",
+                s.nt, s.rt_stc, s.rt_stwc, s.rt_stl, s.nv,
+                s.ecv_stc, s.ecv_stwc, s.ect_stc, s.ect_stwc
+            ))
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    const PROG: &str = r#"
+        int main() {
+            int* p = (int*) malloc(sizeof(int));
+            *p = 21;
+            print_int(*p * 2);
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn run_command_executes() {
+        let f = write_temp("rsti_cli_run.mc", PROG);
+        let (code, out) = run_cli(&["run".into(), f, "--stats".into()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("42"), "{out}");
+        assert!(out.contains("exit: 0"), "{out}");
+        assert!(out.contains("pac signs"), "{out}");
+    }
+
+    #[test]
+    fn run_baseline_has_no_pac() {
+        let f = write_temp("rsti_cli_base.mc", PROG);
+        let (code, out) =
+            run_cli(&["run".into(), f, "--mech".into(), "none".into(), "--stats".into()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("pac signs: 0"), "{out}");
+    }
+
+    #[test]
+    fn analyze_lists_classes() {
+        let f = write_temp("rsti_cli_an.mc", PROG);
+        let (code, out) = run_cli(&["analyze".into(), f]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("RSTI-types"), "{out}");
+        assert!(out.contains("int*"), "{out}");
+    }
+
+    #[test]
+    fn instrument_dumps_pac_ir() {
+        let f = write_temp("rsti_cli_instr.mc", PROG);
+        let (code, out) = run_cli(&["instrument".into(), f, "--mech".into(), "stl".into()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("pac.sign"), "{out}");
+        assert!(out.contains("pac.auth"), "{out}");
+    }
+
+    #[test]
+    fn equivalence_prints_row() {
+        let f = write_temp("rsti_cli_eq.mc", PROG);
+        let (code, out) = run_cli(&["equivalence".into(), f]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("NT "), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (code, out) = run_cli(&["run".into(), "/nonexistent.mc".into()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("cannot read"), "{out}");
+        let (code, _) = run_cli(&["bogus".into(), "/x".into()]);
+        assert_eq!(code, 1);
+        let f = write_temp("rsti_cli_bad.mc", "int main( {");
+        let (code, out) = run_cli(&["run".into(), f]);
+        assert_eq!(code, 1);
+        assert!(out.contains("line"), "{out}");
+    }
+
+    #[test]
+    fn run_with_mac_backend_and_optimize() {
+        let f = write_temp("rsti_cli_mac.mc", PROG);
+        let (code, out) = run_cli(&[
+            "run".into(),
+            f.clone(),
+            "--backend".into(),
+            "mac".into(),
+            "--optimize".into(),
+            "--stats".into(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("42"), "{out}");
+        let (code, _) = run_cli(&["run".into(), f.clone(), "--mech".into(), "adaptive".into()]);
+        assert_eq!(code, 0);
+        let (code, out) = run_cli(&["run".into(), f, "--backend".into(), "xyz".into()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown backend"), "{out}");
+    }
+
+    #[test]
+    fn bundled_samples_run_under_every_mechanism() {
+        // The samples/ directory must stay working: it is the README's
+        // hands-on entry point.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../samples");
+        let mut found = 0;
+        for entry in std::fs::read_dir(&root).expect("samples/ exists") {
+            let path = entry.unwrap().path();
+            if path.extension().and_then(|e| e.to_str()) != Some("mc") {
+                continue;
+            }
+            found += 1;
+            let p = path.to_string_lossy().into_owned();
+            for mech in ["none", "parts", "stc", "stwc", "stl", "adaptive"] {
+                let (code, out) = run_cli(&[
+                    "run".into(),
+                    p.clone(),
+                    "--mech".into(),
+                    mech.into(),
+                ]);
+                assert_eq!(code, 0, "{p} under {mech}: {out}");
+                assert!(out.contains("exit: 0"), "{p} under {mech}: {out}");
+            }
+        }
+        assert!(found >= 3, "expected bundled samples, found {found}");
+    }
+
+    #[test]
+    fn mechanism_parsing() {
+        assert_eq!(parse_mechanism("stwc").unwrap(), Some(Mechanism::Stwc));
+        assert_eq!(parse_mechanism("NONE").unwrap(), None);
+        assert!(parse_mechanism("xyz").is_err());
+    }
+}

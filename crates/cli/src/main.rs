@@ -1,0 +1,9 @@
+//! The `rsti` binary: compile, analyze, instrument, and run MiniC programs
+//! under the RSTI mechanisms.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (code, out) = rsti_cli::run_cli(&args);
+    print!("{out}");
+    std::process::exit(code);
+}

@@ -1,0 +1,38 @@
+//! Compile-time diagnostics.
+
+use std::fmt;
+
+/// A frontend diagnostic with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Source line the error was detected on.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl CompileError {
+    /// Creates an error.
+    pub fn new(line: u32, msg: impl Into<String>) -> Self {
+        CompileError { line, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_with_line() {
+        let e = CompileError::new(7, "unexpected token");
+        assert_eq!(e.to_string(), "line 7: unexpected token");
+    }
+}

@@ -1,0 +1,349 @@
+//! # rsti-frontend — the MiniC compiler frontend
+//!
+//! MiniC is the C subset this reproduction uses in place of Clang's C/C++
+//! input. It is rich enough to express every program shape the RSTI paper's
+//! analysis distinguishes: struct types (self-referential, nested,
+//! function-pointer members), pointers at any depth, universal pointers
+//! (`void*`, `char*`), explicit casts, `const` permissions, globals, heap
+//! allocation, pointer arithmetic, escaping locals, and `extern`
+//! (uninstrumented, "libc") functions.
+//!
+//! The pipeline is [`token::lex`] → [`parser::parse`] → [`lower`] →
+//! verified [`rsti_ir::Module`] carrying full STI debug metadata.
+//!
+//! # Example
+//!
+//! ```
+//! let m = rsti_frontend::compile(r#"
+//!     struct node { int key; struct node* next; };
+//!     int main() {
+//!         struct node* p = (struct node*) malloc(sizeof(struct node));
+//!         p->key = 41;
+//!         p->key = p->key + 1;
+//!         return p->key;
+//!     }
+//! "#, "demo").unwrap();
+//! assert!(m.func_by_name("main").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use error::CompileError;
+pub use lower::compile;
+pub use parser::parse;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsti_ir::{Inst, Scope, Type, VarKind};
+
+    fn ok(src: &str) -> rsti_ir::Module {
+        match compile(src, "test") {
+            Ok(m) => m,
+            Err(e) => panic!("compile failed: {e}\n{src}"),
+        }
+    }
+
+    #[test]
+    fn compiles_paper_fig6_composite_example() {
+        // Figure 6 of the paper, almost verbatim.
+        let m = ok(r#"
+            void hello_func() { print_str("Hello!"); }
+            struct node {
+                int key;
+                int (*fp)();
+                struct node* next;
+            };
+            int main() {
+                struct node* ptr = (struct node*) malloc(sizeof(struct node));
+                ptr->fp = hello_func;
+                ptr->fp();
+                return 0;
+            }
+        "#);
+        let main = m.func_by_name("main").unwrap();
+        let f = m.func(main);
+        // There must be a bitcast (the explicit cast), a fieldaddr store of
+        // the function pointer, and an indirect call.
+        assert!(f.insts().any(|n| matches!(n.inst, Inst::BitCast { .. })));
+        assert!(f.insts().any(|n| matches!(n.inst, Inst::CallIndirect { .. })));
+        assert!(f.insts().any(|n| matches!(n.inst, Inst::Malloc { .. })));
+    }
+
+    #[test]
+    fn debug_metadata_carries_scope_type_permission() {
+        let m = ok(r#"
+            int main() {
+                const void* cp = malloc(1);
+                return 0;
+            }
+        "#);
+        let main = m.func_by_name("main").unwrap();
+        let cp = m
+            .vars
+            .iter()
+            .find(|v| v.name == "cp")
+            .expect("cp has a VarInfo");
+        assert_eq!(cp.scope, Scope::Function(main.0));
+        assert!(cp.is_const, "const permission recorded");
+        assert_eq!(m.types.display(cp.ty), "void*");
+        assert_eq!(cp.kind, VarKind::Local);
+    }
+
+    #[test]
+    fn implicit_void_ptr_conversion_emits_bitcast() {
+        let m = ok(r#"
+            void take(void* v) {}
+            int main() {
+                int* p = null;
+                take(p);
+                return 0;
+            }
+        "#);
+        let main = m.func_by_name("main").unwrap();
+        let f = m.func(main);
+        assert!(
+            f.insts().any(|n| matches!(&n.inst, Inst::BitCast { to, .. }
+                if m.types.display(*to) == "void*")),
+            "{}",
+            rsti_ir::print_module(&m)
+        );
+    }
+
+    #[test]
+    fn control_flow_lowers_and_verifies() {
+        ok(r#"
+            int collatz_steps(int n) {
+                int steps = 0;
+                while (n != 1) {
+                    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+                    steps = steps + 1;
+                    if (steps > 1000) { break; }
+                }
+                return steps;
+            }
+            int main() {
+                int total = 0;
+                for (int i = 1; i < 30; i = i + 1) {
+                    total = total + collatz_steps(i);
+                }
+                print_int(total);
+                return total;
+            }
+        "#);
+    }
+
+    #[test]
+    fn arrays_pointer_arithmetic_and_strings() {
+        ok(r#"
+            int sum(int* xs, int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i = i + 1) { acc = acc + xs[i]; }
+                return acc;
+            }
+            int main() {
+                int buf[8];
+                for (int i = 0; i < 8; i = i + 1) { buf[i] = i; }
+                int* p = &buf[0];
+                p = p + 3;
+                *p = 100;
+                char* s = "abc";
+                return sum(buf, 8);
+            }
+        "#);
+    }
+
+    #[test]
+    fn double_pointers_and_addr_of() {
+        ok(r#"
+            void bump(int** pp) { **pp = **pp + 1; }
+            int main() {
+                int x = 5;
+                int* p = &x;
+                bump(&p);
+                return x;
+            }
+        "#);
+    }
+
+    #[test]
+    fn function_pointer_variables_and_indirect_calls() {
+        let m = ok(r#"
+            int add(int a, int b) { return a + b; }
+            int mul(int a, int b) { return a * b; }
+            int main() {
+                int (*op)(int a, int b) = add;
+                int r = op(2, 3);
+                op = mul;
+                r = r + op(2, 3);
+                return r;
+            }
+        "#);
+        let main = m.func_by_name("main").unwrap();
+        let count = m
+            .func(main)
+            .insts()
+            .filter(|n| matches!(n.inst, Inst::CallIndirect { .. }))
+            .count();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn extern_functions_are_external() {
+        let m = ok(r#"
+            extern void* dlopen(char* name, int flags);
+            int main() {
+                void* h = dlopen("libm.so", 2);
+                return 0;
+            }
+        "#);
+        let f = m.func_by_name("dlopen").unwrap();
+        assert!(m.func(f).is_external);
+    }
+
+    #[test]
+    fn globals_with_initializers() {
+        let m = ok(r#"
+            int counter = 3;
+            const char* banner = "hi";
+            void tick() { counter = counter + 1; }
+            int main() { tick(); tick(); return counter; }
+        "#);
+        assert_eq!(m.globals.len(), 2);
+        assert!(m.vars.iter().any(|v| v.name == "banner" && v.is_const));
+    }
+
+    #[test]
+    fn nested_structs_resolve() {
+        let m = ok(r#"
+            struct bar { void* a; };
+            struct foo { struct bar inner; int x; };
+            int main() {
+                struct foo f;
+                f.inner.a = malloc(4);
+                f.x = 2;
+                return f.x;
+            }
+        "#);
+        let sid = m.types.struct_by_name("foo").unwrap();
+        let def = m.types.struct_def(sid);
+        assert!(matches!(m.types.get(def.fields[0].ty), Type::Struct(_)));
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        // The RHS dereferences null; && must not evaluate it when the LHS
+        // is false. We can only check the shape here; the VM test suite
+        // checks behaviour.
+        ok(r#"
+            int main() {
+                int* p = null;
+                if (p != null && *p == 3) { return 1; }
+                return 0;
+            }
+        "#);
+    }
+
+    #[test]
+    fn do_while_and_compound_assignment() {
+        let m = ok(r#"
+            int main() {
+                int acc = 0;
+                int i = 0;
+                do {
+                    acc += i * 2;
+                    i++;
+                } while (i < 5);
+                acc -= 3;
+                acc *= 2;
+                int j = 10;
+                j--;
+                print_int(acc + j);
+                return acc;
+            }
+        "#);
+        assert!(m.func_by_name("main").is_some());
+    }
+
+    #[test]
+    fn compound_assignment_on_lvalues() {
+        ok(r#"
+            struct acc { long total; };
+            int main() {
+                struct acc* a = (struct acc*) malloc(sizeof(struct acc));
+                a->total = 1;
+                a->total += 5;
+                int buf[3];
+                buf[0] = 1;
+                buf[0] += 2;
+                return (int) a->total + buf[0];
+            }
+        "#);
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = compile("int main() {\n  unknown_fn();\n  return 0;\n}", "t").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = compile("int main() { const int x = 1; x = 2; return x; }", "t").unwrap_err();
+        assert!(e.msg.contains("const"));
+    }
+
+    #[test]
+    fn diagnostic_coverage() {
+        let cases: &[(&str, &str)] = &[
+            ("int main() { return 0; } int main() { return 1; }", "duplicate function"),
+            ("struct a { int x; }; struct a { int y; }; int main() { return 0; }", "duplicate struct"),
+            ("int g; int g; int main() { return 0; }", "duplicate global"),
+            ("int main() { int x = 1; int x = 2; return x; }", "duplicate variable"),
+            ("int main() { break; }", "break outside loop"),
+            ("int main() { continue; }", "continue outside loop"),
+            ("void f() { return 1; } int main() { return 0; }", "void function returns"),
+            ("int f() { return; } int main() { return 0; }", "missing return value"),
+            ("int main() { void* v = null; return *v; }", "dereference of void*"),
+            ("int main() { int x = 0; x->y = 1; return 0; }", "`->` on non-pointer"),
+            ("int main() { 5 = 3; return 0; }", "not assignable"),
+            ("int main() { malloc(); return 0; }", "malloc takes one argument"),
+            ("int main() { int x = 1; return x(); }", "call of non-function"),
+            ("int main() { double d = 1.0; int* p = (int*) d; return 0; }", "unsupported cast"),
+        ];
+        for (src, needle) in cases {
+            let e = compile(src, "t").expect_err(src);
+            assert!(
+                e.msg.contains(needle),
+                "expected `{needle}` in `{}` for:\n{src}",
+                e.msg
+            );
+        }
+    }
+
+    #[test]
+    fn parse_error_coverage() {
+        for src in [
+            "int main() {",                     // unterminated body
+            "struct s { int x; }",              // missing semicolon
+            "int main() { int; }",              // missing declarator
+            "int main() { if (1 { } return 0; }", // bad parens
+            "int main() { return (1 + ; }",     // bad expression
+            "int main() { int a[0]; return 0; }", // zero-length array
+            "int 5x() { return 0; }",           // bad identifier
+            "/* unterminated",                  // comment error
+            "int main() { char c = 'ab; }",     // bad char literal
+        ] {
+            assert!(compile(src, "t").is_err(), "should reject: {src}");
+        }
+    }
+
+    #[test]
+    fn type_errors_rejected() {
+        assert!(compile("int main() { int x = \"s\"; return 0; }", "t").is_err());
+        assert!(compile("int main() { struct nope* p = null; return 0; }", "t").is_err());
+        assert!(compile("void f() {} int main() { return f(1); }", "t").is_err());
+    }
+}

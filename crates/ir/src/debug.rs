@@ -1,0 +1,138 @@
+//! Debug metadata: the IR-level equivalent of LLVM's `llvm.dbg` machinery.
+//!
+//! The paper's STI analysis (§4.4) recovers three facts per pointer variable
+//! from LLVM debug info:
+//!
+//! * **type** — from the `!DILocalVariable`'s type reference,
+//! * **scope** — from the `!DISubprogram` / `!DICompositeType` chain,
+//! * **permission** — from a `DW_TAG_const_type` `!DIDerivedType` wrapper.
+//!
+//! Our frontend attaches the same facts directly: every declared variable
+//! gets a [`VarInfo`] record, every instruction an optional [`DebugLoc`]
+//! naming the scope it executes in, and struct fields carry their own
+//! type/const facts on [`crate::types::FieldDef`].
+
+use crate::types::{StructId, TypeId};
+use std::fmt;
+
+/// A lexical scope, in the paper's *extended* sense (§4.4): either a
+/// function, or a composite type (for struct members), or an entire module
+/// (for globals and for uninstrumented "libc" code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scope {
+    /// A function scope, by function index in the module.
+    Function(u32),
+    /// A composite-type scope (`struct bar` is in the scope of its pointer
+    /// members).
+    Struct(StructId),
+    /// Module/global scope.
+    Module,
+    /// Code in an external, uninstrumented library ("libc" in the paper's
+    /// attack table). Pointers originating here never carry a PAC.
+    External,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Function(i) => write!(f, "fn#{i}"),
+            Scope::Struct(s) => write!(f, "struct#{}", s.0),
+            Scope::Module => write!(f, "module"),
+            Scope::External => write!(f, "external"),
+        }
+    }
+}
+
+/// Reference to a [`VarInfo`] in a module's variable table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "var{}", self.0)
+    }
+}
+
+/// Where a variable's storage lives. STI treats all three uniformly
+/// (§4.7.6: "From the IR's perspective, heap access is just another memory
+/// access") but the distinction matters for reports and for the VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// A function-local variable (paper: `DILocalVariable`).
+    Local,
+    /// A function parameter.
+    Param,
+    /// A module-level global.
+    Global,
+    /// A struct member, owned by the composite type rather than a function.
+    Field,
+}
+
+/// Debug record for one declared variable — the unit STI reasons about.
+///
+/// This is the analogue of `!DILocalVariable` (+ the `!DIDerivedType` chain
+/// that encodes `const`). The *declaration* scope recorded here is the
+/// starting point; escape analysis in `rsti-core` widens it to the full set
+/// of functions that use the variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Source-level name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeId,
+    /// Declaration scope.
+    pub scope: Scope,
+    /// `true` when declared `const` (read-only permission).
+    pub is_const: bool,
+    /// Storage class.
+    pub kind: VarKind,
+    /// Source line of the declaration (reports only).
+    pub line: u32,
+}
+
+/// Source location + scope attached to instructions, like LLVM's `!dbg`.
+///
+/// Per the paper (§4.4): "When instrumenting loads/stores, the scope is
+/// obtained with the `!16` instruction and every load/store has this LLVM
+/// metadata. Thus, this means the proper scope can always be obtained."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DebugLoc {
+    /// The scope the instruction executes in.
+    pub scope: Scope,
+    /// Source line.
+    pub line: u32,
+}
+
+impl DebugLoc {
+    /// Convenience constructor.
+    pub fn new(scope: Scope, line: u32) -> Self {
+        DebugLoc { scope, line }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_display() {
+        assert_eq!(Scope::Function(3).to_string(), "fn#3");
+        assert_eq!(Scope::Module.to_string(), "module");
+        assert_eq!(Scope::External.to_string(), "external");
+        assert_eq!(Scope::Struct(StructId(1)).to_string(), "struct#1");
+    }
+
+    #[test]
+    fn scope_ordering_is_total() {
+        let mut scopes = vec![
+            Scope::Module,
+            Scope::Function(2),
+            Scope::Function(0),
+            Scope::External,
+            Scope::Struct(StructId(0)),
+        ];
+        scopes.sort();
+        scopes.dedup();
+        assert_eq!(scopes.len(), 5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Functions and basic blocks.
+
+use crate::debug::{DebugLoc, VarId};
+use crate::inst::{Inst, Terminator};
+use crate::types::{FuncSig, TypeId};
+use std::fmt;
+
+/// A virtual register, local to one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A basic-block index, local to one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An instruction plus its optional debug location. The RSTI pass propagates
+/// the location of the instrumented load/store onto the inserted PAC
+/// instructions, exactly as the LLVM pass inherits `!dbg`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstNode {
+    /// The instruction.
+    pub inst: Inst,
+    /// Scope/line the instruction belongs to (`None` only for
+    /// compiler-generated glue).
+    pub loc: Option<DebugLoc>,
+}
+
+/// A straight-line run of instructions ending in exactly one terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// The block body.
+    pub insts: Vec<InstNode>,
+    /// The terminator. Blocks under construction hold
+    /// [`Terminator::Unreachable`] until sealed by the builder.
+    pub term: Terminator,
+    /// Debug location of the terminator.
+    pub term_loc: Option<DebugLoc>,
+}
+
+impl BasicBlock {
+    /// An empty, unterminated block.
+    pub fn new() -> Self {
+        BasicBlock { insts: Vec::new(), term: Terminator::Unreachable, term_loc: None }
+    }
+}
+
+impl Default for BasicBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A function definition (or external declaration).
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Signature.
+    pub sig: FuncSig,
+    /// Parameter values: `params[i]` is the [`ValueId`] bound to the i-th
+    /// argument on entry, with its optional debug variable.
+    pub params: Vec<(ValueId, Option<VarId>)>,
+    /// Basic blocks; block 0 is the entry. Empty for externals.
+    pub blocks: Vec<BasicBlock>,
+    /// Type of every value, indexed by [`ValueId`]. Maintained by the
+    /// builder; the verifier checks it.
+    pub value_types: Vec<TypeId>,
+    /// `true` for uninstrumented external library functions ("libc"): they
+    /// have no body in this module, their behaviour is provided by the VM,
+    /// and pointers flowing into them are PAC-stripped (§7 "Handling
+    /// external code").
+    pub is_external: bool,
+}
+
+impl Function {
+    /// Total number of instructions across all blocks (terminators
+    /// excluded).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Type of a value.
+    ///
+    /// # Panics
+    /// Panics when `v` was never defined in this function.
+    pub fn value_type(&self, v: ValueId) -> TypeId {
+        self.value_types[v.0 as usize]
+    }
+
+    /// Iterator over all instruction nodes in block order.
+    pub fn insts(&self) -> impl Iterator<Item = &InstNode> {
+        self.blocks.iter().flat_map(|b| b.insts.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_block_is_unreachable() {
+        let b = BasicBlock::new();
+        assert_eq!(b.term, Terminator::Unreachable);
+        assert!(b.insts.is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ValueId(7).to_string(), "%7");
+        assert_eq!(BlockId(2).to_string(), "bb2");
+    }
+}

@@ -1,0 +1,277 @@
+//! Textual IR printer (LLVM-flavoured), for debugging, docs, and golden
+//! tests of the instrumentation pass.
+
+use crate::function::Function;
+use crate::inst::{BinOp, CmpOp, Inst, Operand, PacKey, Terminator};
+use crate::module::Module;
+use std::fmt::Write as _;
+
+/// Renders a whole module as text.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", m.name);
+    for (sid, def) in m.types.structs() {
+        let fields: Vec<String> = def
+            .fields
+            .iter()
+            .map(|f| format!("{} {}{}", m.types.display(f.ty), f.name, if f.is_const { " const" } else { "" }))
+            .collect();
+        let _ = writeln!(out, "struct {} ; #{} {{ {} }}", def.name, sid.0, fields.join(", "));
+    }
+    for g in &m.globals {
+        let _ = writeln!(
+            out,
+            "global {} : {} = {:?}",
+            g.name,
+            m.types.display(g.ty),
+            g.init
+        );
+    }
+    for (_, f) in m.funcs() {
+        out.push_str(&print_function(m, f));
+    }
+    out
+}
+
+/// Renders one function as text.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .zip(f.sig.params.iter())
+        .map(|((v, _), t)| format!("{} {}", m.types.display(*t), v))
+        .collect();
+    let head = format!(
+        "{} @{}({})",
+        m.types.display(f.sig.ret),
+        f.name,
+        params.join(", ")
+    );
+    if f.is_external {
+        let _ = writeln!(out, "declare {head}");
+        return out;
+    }
+    let _ = writeln!(out, "define {head} {{");
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "bb{bi}:");
+        for node in &blk.insts {
+            let _ = writeln!(out, "  {}", print_inst(m, f, &node.inst));
+        }
+        let _ = writeln!(out, "  {}", print_term(m, &blk.term));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn print_op(m: &Module, op: &Operand) -> String {
+    match op {
+        Operand::Value(v) => v.to_string(),
+        Operand::ConstInt(i, t) => format!("{} {}", m.types.display(*t), i),
+        Operand::ConstFloat(bits, _) => format!("double {}", f64::from_bits(*bits)),
+        Operand::Null(t) => format!("{} null", m.types.display(*t)),
+        Operand::FuncAddr(fid, _) => format!("@{}", m.funcs[fid.0 as usize].name),
+        Operand::GlobalAddr(gid, _) => format!("@g.{}", m.globals[gid.0 as usize].name),
+        Operand::Str(sid, _) => format!("str.{}", sid.0),
+    }
+}
+
+fn binop_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+fn cmpop_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn key_name(k: PacKey) -> &'static str {
+    match k {
+        PacKey::Ia => "ia",
+        PacKey::Ib => "ib",
+        PacKey::Da => "da",
+        PacKey::Db => "db",
+        PacKey::Ga => "ga",
+    }
+}
+
+/// Renders a single instruction.
+pub fn print_inst(m: &Module, _f: &Function, inst: &Inst) -> String {
+    match inst {
+        Inst::Alloca { result, ty, var } => {
+            let v = var
+                .map(|v| format!(" ; var {}", m.var(v).name))
+                .unwrap_or_default();
+            format!("{result} = alloca {}{v}", m.types.display(*ty))
+        }
+        Inst::Load { result, ptr, ty } => {
+            format!("{result} = load {}, {}", m.types.display(*ty), print_op(m, ptr))
+        }
+        Inst::Store { value, ptr } => {
+            format!("store {}, {}", print_op(m, value), print_op(m, ptr))
+        }
+        Inst::FieldAddr { result, base, struct_id, field } => {
+            let def = m.types.struct_def(*struct_id);
+            format!(
+                "{result} = fieldaddr {}, {}.{}",
+                print_op(m, base),
+                def.name,
+                def.fields[*field].name
+            )
+        }
+        Inst::IndexAddr { result, base, index, elem_ty } => format!(
+            "{result} = indexaddr {}, {} x {}",
+            print_op(m, base),
+            print_op(m, index),
+            m.types.display(*elem_ty)
+        ),
+        Inst::BitCast { result, value, to } => {
+            format!("{result} = bitcast {} to {}", print_op(m, value), m.types.display(*to))
+        }
+        Inst::Convert { result, value, to } => {
+            format!("{result} = convert {} to {}", print_op(m, value), m.types.display(*to))
+        }
+        Inst::Bin { result, op, lhs, rhs, .. } => format!(
+            "{result} = {} {}, {}",
+            binop_name(*op),
+            print_op(m, lhs),
+            print_op(m, rhs)
+        ),
+        Inst::Cmp { result, op, lhs, rhs } => format!(
+            "{result} = cmp {} {}, {}",
+            cmpop_name(*op),
+            print_op(m, lhs),
+            print_op(m, rhs)
+        ),
+        Inst::Call { result, callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| print_op(m, a)).collect();
+            let r = result.map(|r| format!("{r} = ")).unwrap_or_default();
+            format!("{r}call @{}({})", m.funcs[callee.0 as usize].name, args.join(", "))
+        }
+        Inst::CallIndirect { result, callee, args, .. } => {
+            let args: Vec<String> = args.iter().map(|a| print_op(m, a)).collect();
+            let r = result.map(|r| format!("{r} = ")).unwrap_or_default();
+            format!("{r}icall {}({})", print_op(m, callee), args.join(", "))
+        }
+        Inst::Malloc { result, size, result_ty } => format!(
+            "{result} = malloc {} as {}",
+            print_op(m, size),
+            m.types.display(*result_ty)
+        ),
+        Inst::Free { ptr } => format!("free {}", print_op(m, ptr)),
+        Inst::PrintInt { value } => format!("print_int {}", print_op(m, value)),
+        Inst::PrintStr { s } => format!("print_str {:?}", m.strings[s.0 as usize]),
+        Inst::PacSign { result, value, key, modifier, loc, site } => format!(
+            "{result} = pac.sign.{} {}, mod={modifier:#x}{} ; {site:?}",
+            key_name(*key),
+            print_op(m, value),
+            loc.as_ref()
+                .map(|l| format!(" ^ &{}", print_op(m, l)))
+                .unwrap_or_default()
+        ),
+        Inst::PacAuth { result, value, key, modifier, loc, site } => format!(
+            "{result} = pac.auth.{} {}, mod={modifier:#x}{} ; {site:?}",
+            key_name(*key),
+            print_op(m, value),
+            loc.as_ref()
+                .map(|l| format!(" ^ &{}", print_op(m, l)))
+                .unwrap_or_default()
+        ),
+        Inst::PacStrip { result, value } => {
+            format!("{result} = pac.strip {}", print_op(m, value))
+        }
+        Inst::PpAdd { ce, fe_modifier } => {
+            format!("pp_add ce={ce}, fe={fe_modifier:#x}")
+        }
+        Inst::PpSign { result, value, ce, key } => format!(
+            "{result} = pp_sign.{} {}, ce={ce}",
+            key_name(*key),
+            print_op(m, value)
+        ),
+        Inst::PpAddTbi { result, value, ce } => {
+            format!("{result} = pp_add_tbi {}, ce={ce}", print_op(m, value))
+        }
+        Inst::PpAuth { result, value, key } => {
+            format!("{result} = pp_auth.{} {}", key_name(*key), print_op(m, value))
+        }
+    }
+}
+
+fn print_term(m: &Module, t: &Terminator) -> String {
+    match t {
+        Terminator::Br(b) => format!("br {b}"),
+        Terminator::CondBr { cond, then_bb, else_bb } => {
+            format!("condbr {}, {then_bb}, {else_bb}", print_op(m, cond))
+        }
+        Terminator::Ret(None) => "ret void".into(),
+        Terminator::Ret(Some(v)) => format!("ret {}", print_op(m, v)),
+        Terminator::Unreachable => "unreachable".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::FuncSig;
+
+    #[test]
+    fn prints_roundtrippable_text() {
+        let mut m = Module::new("demo");
+        let i32t = m.types.i32();
+        let fid = m.declare_func("f", FuncSig::new(i32t, vec![i32t]), false);
+        let mut b = FunctionBuilder::new(&mut m, fid);
+        let slot = b.alloca(i32t, None);
+        let p0 = b.param(0);
+        b.store(p0, slot);
+        let v = b.load(slot, i32t);
+        b.ret(Some(v.into()));
+        b.finish();
+
+        let text = print_module(&m);
+        assert!(text.contains("define int @f(int %0)"), "{text}");
+        assert!(text.contains("alloca int"), "{text}");
+        assert!(text.contains("ret %"), "{text}");
+    }
+
+    #[test]
+    fn prints_pac_instructions() {
+        use crate::inst::{PacSite, PacKey};
+        let mut m = Module::new("demo");
+        let void = m.types.void();
+        let vp = m.types.void_ptr();
+        let fid = m.declare_func("g", FuncSig::new(void, vec![vp]), false);
+        let mut b = FunctionBuilder::new(&mut m, fid);
+        let p = b.param(0);
+        let r = b.fresh_value(vp);
+        b.push_raw(Inst::PacSign {
+            result: r,
+            value: p.into(),
+            key: PacKey::Da,
+            modifier: 0xbeef,
+            loc: None,
+            site: PacSite::OnStore,
+        });
+        b.ret(None);
+        b.finish();
+        let text = print_module(&m);
+        assert!(text.contains("pac.sign.da %0, mod=0xbeef ; OnStore"), "{text}");
+    }
+}

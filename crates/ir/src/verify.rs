@@ -1,0 +1,448 @@
+//! The module verifier.
+//!
+//! Instrumentation passes rewrite instruction streams wholesale; the
+//! verifier gives them (and the frontend) a machine-checked well-formedness
+//! contract so that the VM can assume structurally valid input. It checks:
+//!
+//! * every branch targets an existing block and no block is left
+//!   unterminated (except deliberate `unreachable`),
+//! * every operand refers to a defined value,
+//! * loads/stores/GEPs/calls/returns are type-consistent.
+//!
+//! Pointer-typed positions are checked *loosely* (any pointer may stand in
+//! for any other): MiniC, like C, freely passes `struct node*` where `void*`
+//! is expected, and the instrumentation inserts `PacSign`/`PacAuth` values
+//! that keep the original pointer type. Scalar positions are checked
+//! strictly.
+
+use crate::function::Function;
+use crate::inst::{Inst, Operand, Terminator};
+use crate::module::Module;
+use crate::types::{Type, TypeId};
+use std::fmt;
+
+/// A single verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name.
+    pub func: String,
+    /// Block index.
+    pub block: usize,
+    /// Instruction index within the block (`usize::MAX` = terminator).
+    pub index: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.index == usize::MAX {
+            write!(f, "{}: bb{}: terminator: {}", self.func, self.block, self.msg)
+        } else {
+            write!(f, "{}: bb{}[{}]: {}", self.func, self.block, self.index, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module. Returns all failures rather than the first.
+///
+/// # Errors
+/// Returns the list of [`VerifyError`]s when the module is ill-formed.
+pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    for (_, f) in m.funcs() {
+        verify_function(m, f, &mut errs);
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+struct Ctx<'a> {
+    m: &'a Module,
+    f: &'a Function,
+    errs: &'a mut Vec<VerifyError>,
+    block: usize,
+    index: usize,
+}
+
+impl Ctx<'_> {
+    fn err(&mut self, msg: impl Into<String>) {
+        self.errs.push(VerifyError {
+            func: self.f.name.clone(),
+            block: self.block,
+            index: self.index,
+            msg: msg.into(),
+        });
+    }
+
+    fn operand_type(&mut self, op: &Operand) -> Option<TypeId> {
+        match op {
+            Operand::Value(v) => {
+                if (v.0 as usize) < self.f.value_types.len() {
+                    Some(self.f.value_types[v.0 as usize])
+                } else {
+                    self.err(format!("use of undefined value %{}", v.0));
+                    None
+                }
+            }
+            Operand::ConstInt(_, t)
+            | Operand::ConstFloat(_, t)
+            | Operand::Null(t)
+            | Operand::Str(_, t) => Some(*t),
+            Operand::FuncAddr(fid, t) => {
+                if (fid.0 as usize) >= self.m.funcs.len() {
+                    self.err(format!("funcaddr of unknown function @{}", fid.0));
+                }
+                Some(*t)
+            }
+            Operand::GlobalAddr(gid, t) => {
+                if (gid.0 as usize) >= self.m.globals.len() {
+                    self.err(format!("globaladdr of unknown global #{}", gid.0));
+                }
+                Some(*t)
+            }
+        }
+    }
+
+    /// Strict match for scalars; any-pointer-matches-any-pointer laxity.
+    fn types_compatible(&self, a: TypeId, b: TypeId) -> bool {
+        if a == b {
+            return true;
+        }
+        matches!(
+            (self.m.types.get(a), self.m.types.get(b)),
+            (Type::Ptr(_), Type::Ptr(_))
+        )
+    }
+
+    fn expect_compatible(&mut self, what: &str, expected: TypeId, got: TypeId) {
+        if !self.types_compatible(expected, got) {
+            let e = self.m.types.display(expected);
+            let g = self.m.types.display(got);
+            self.err(format!("{what}: expected `{e}`, got `{g}`"));
+        }
+    }
+
+    fn expect_ptr(&mut self, what: &str, ty: TypeId) -> Option<TypeId> {
+        match self.m.types.get(ty) {
+            Type::Ptr(p) => Some(*p),
+            _ => {
+                self.err(format!(
+                    "{what}: expected a pointer, got `{}`",
+                    self.m.types.display(ty)
+                ));
+                None
+            }
+        }
+    }
+}
+
+fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
+    if f.is_external {
+        if !f.blocks.is_empty() {
+            errs.push(VerifyError {
+                func: f.name.clone(),
+                block: 0,
+                index: 0,
+                msg: "external function has a body".into(),
+            });
+        }
+        return;
+    }
+    if f.blocks.is_empty() {
+        errs.push(VerifyError {
+            func: f.name.clone(),
+            block: 0,
+            index: 0,
+            msg: "defined function has no blocks".into(),
+        });
+        return;
+    }
+
+    let mut ctx = Ctx { m, f, errs, block: 0, index: 0 };
+
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        ctx.block = bi;
+        for (ii, node) in blk.insts.iter().enumerate() {
+            ctx.index = ii;
+            verify_inst(&mut ctx, &node.inst);
+        }
+        ctx.index = usize::MAX;
+        match &blk.term {
+            Terminator::Br(t) => {
+                if (t.0 as usize) >= f.blocks.len() {
+                    ctx.err(format!("branch to unknown block {t}"));
+                }
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                if let Some(ct) = ctx.operand_type(cond) {
+                    ctx.expect_compatible("condbr condition", m.types.bool(), ct);
+                }
+                for t in [then_bb, else_bb] {
+                    if (t.0 as usize) >= f.blocks.len() {
+                        ctx.err(format!("branch to unknown block {t}"));
+                    }
+                }
+            }
+            Terminator::Ret(v) => {
+                let want = f.sig.ret;
+                match v {
+                    None => {
+                        if want != m.types.void() {
+                            ctx.err("return without value from non-void function");
+                        }
+                    }
+                    Some(op) => {
+                        if want == m.types.void() {
+                            ctx.err("return with value from void function");
+                        } else if let Some(t) = ctx.operand_type(op) {
+                            ctx.expect_compatible("return value", want, t);
+                        }
+                    }
+                }
+            }
+            Terminator::Unreachable => {}
+        }
+    }
+}
+
+fn verify_inst(ctx: &mut Ctx<'_>, inst: &Inst) {
+    // All operands must at least be defined.
+    for op in inst.operands() {
+        ctx.operand_type(op);
+    }
+    match inst {
+        Inst::Load { result, ptr, ty } => {
+            if let Some(pt) = ctx.operand_type(ptr) {
+                if let Some(pointee) = ctx.expect_ptr("load pointer", pt) {
+                    ctx.expect_compatible("load result", *ty, pointee);
+                }
+            }
+            let rt = ctx.f.value_types[result.0 as usize];
+            ctx.expect_compatible("load result register", *ty, rt);
+        }
+        Inst::Store { value, ptr } => {
+            let vt = ctx.operand_type(value);
+            if let (Some(vt), Some(pt)) = (vt, ctx.operand_type(ptr)) {
+                if let Some(pointee) = ctx.expect_ptr("store pointer", pt) {
+                    ctx.expect_compatible("store value", pointee, vt);
+                }
+            }
+        }
+        Inst::FieldAddr { base, struct_id, field, .. } => {
+            if (struct_id.0 as usize) >= ctx.m.types.struct_count() {
+                ctx.err("fieldaddr of unknown struct");
+                return;
+            }
+            let def = ctx.m.types.struct_def(*struct_id);
+            if *field >= def.fields.len() {
+                ctx.err(format!(
+                    "field index {} out of range for struct {}",
+                    field, def.name
+                ));
+            }
+            if let Some(bt) = ctx.operand_type(base) {
+                ctx.expect_ptr("fieldaddr base", bt);
+            }
+        }
+        Inst::IndexAddr { base, index, .. } => {
+            if let Some(bt) = ctx.operand_type(base) {
+                ctx.expect_ptr("indexaddr base", bt);
+            }
+            if let Some(it) = ctx.operand_type(index) {
+                if !matches!(
+                    ctx.m.types.get(it),
+                    Type::I8 | Type::I16 | Type::I32 | Type::I64
+                ) {
+                    ctx.err("indexaddr index must be an integer");
+                }
+            }
+        }
+        Inst::BitCast { value, to, .. } => {
+            if let Some(vt) = ctx.operand_type(value) {
+                let both_ptr = ctx.m.types.is_ptr(vt) && ctx.m.types.is_ptr(*to);
+                if !both_ptr {
+                    ctx.err("bitcast requires pointer types on both sides");
+                }
+            }
+        }
+        Inst::Convert { value, to, .. } => {
+            if let Some(vt) = ctx.operand_type(value) {
+                let numeric = |t: TypeId| {
+                    matches!(
+                        ctx.m.types.get(t),
+                        Type::Bool | Type::I8 | Type::I16 | Type::I32 | Type::I64 | Type::F64
+                    )
+                };
+                if !numeric(vt) || !numeric(*to) {
+                    ctx.err("convert requires numeric types on both sides");
+                }
+            }
+        }
+        Inst::Bin { op: _, lhs, rhs, ty, .. } => {
+            if let Some(t) = ctx.operand_type(lhs) {
+                ctx.expect_compatible("binop lhs", *ty, t);
+            }
+            if let Some(t) = ctx.operand_type(rhs) {
+                ctx.expect_compatible("binop rhs", *ty, t);
+            }
+        }
+        Inst::Cmp { lhs, rhs, .. } => {
+            if let (Some(a), Some(b)) = (ctx.operand_type(lhs), ctx.operand_type(rhs)) {
+                if !ctx.types_compatible(a, b) {
+                    ctx.err("cmp operands have different types");
+                }
+            }
+        }
+        Inst::Call { callee, args, .. } => {
+            if (callee.0 as usize) >= ctx.m.funcs.len() {
+                ctx.err("call to unknown function");
+                return;
+            }
+            let sig = ctx.m.funcs[callee.0 as usize].sig.clone();
+            check_call_args(ctx, &sig, args);
+        }
+        Inst::CallIndirect { callee, sig, args, .. } => {
+            if let Some(ct) = ctx.operand_type(callee) {
+                ctx.expect_ptr("indirect callee", ct);
+            }
+            check_call_args(ctx, sig, args);
+        }
+        Inst::Malloc { size, .. } => {
+            if let Some(st) = ctx.operand_type(size) {
+                if !matches!(ctx.m.types.get(st), Type::I32 | Type::I64) {
+                    ctx.err("malloc size must be i32/i64");
+                }
+            }
+        }
+        Inst::Free { ptr } | Inst::PacStrip { value: ptr, .. } => {
+            if let Some(pt) = ctx.operand_type(ptr) {
+                ctx.expect_ptr("pointer operand", pt);
+            }
+        }
+        Inst::PacSign { value, loc, .. } | Inst::PacAuth { value, loc, .. } => {
+            if let Some(vt) = ctx.operand_type(value) {
+                ctx.expect_ptr("pac operand", vt);
+            }
+            if let Some(l) = loc {
+                if let Some(lt) = ctx.operand_type(l) {
+                    ctx.expect_ptr("pac location", lt);
+                }
+            }
+        }
+        Inst::PpSign { value, .. } | Inst::PpAddTbi { value, .. } | Inst::PpAuth { value, .. } => {
+            if let Some(vt) = ctx.operand_type(value) {
+                ctx.expect_ptr("pp operand", vt);
+            }
+        }
+        Inst::PrintStr { s } => {
+            if (s.0 as usize) >= ctx.m.strings.len() {
+                ctx.err("print of unknown string");
+            }
+        }
+        Inst::Alloca { .. } | Inst::PrintInt { .. } | Inst::PpAdd { .. } => {}
+    }
+}
+
+fn check_call_args(ctx: &mut Ctx<'_>, sig: &crate::types::FuncSig, args: &[Operand]) {
+    let fixed = sig.params.len();
+    if args.len() < fixed || (!sig.varargs && args.len() != fixed) {
+        ctx.err(format!(
+            "call arity mismatch: expected {}{}, got {}",
+            fixed,
+            if sig.varargs { "+" } else { "" },
+            args.len()
+        ));
+        return;
+    }
+    for (i, (arg, want)) in args.iter().zip(sig.params.iter()).enumerate() {
+        if let Some(t) = ctx.operand_type(arg) {
+            ctx.expect_compatible(&format!("call argument {i}"), *want, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::types::FuncSig;
+
+    #[test]
+    fn valid_module_passes() {
+        let mut m = Module::new("t");
+        let i32t = m.types.i32();
+        let fid = m.declare_func("f", FuncSig::new(i32t, vec![i32t]), false);
+        let mut b = FunctionBuilder::new(&mut m, fid);
+        let p = b.param(0);
+        let r = b.bin(BinOp::Mul, p, Operand::ConstInt(2, i32t), i32t);
+        b.ret(Some(r.into()));
+        b.finish();
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn type_mismatch_caught() {
+        let mut m = Module::new("t");
+        let i32t = m.types.i32();
+        let f64t = m.types.f64();
+        let fid = m.declare_func("f", FuncSig::new(i32t, vec![]), false);
+        let mut b = FunctionBuilder::new(&mut m, fid);
+        let slot = b.alloca(i32t, None);
+        // storing a double into an i32 slot
+        b.store(Operand::float(1.0, f64t), slot);
+        b.ret(Some(Operand::ConstInt(0, i32t)));
+        b.finish();
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("store value")), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_return_value_caught() {
+        let mut m = Module::new("t");
+        let i32t = m.types.i32();
+        let fid = m.declare_func("f", FuncSig::new(i32t, vec![]), false);
+        let mut b = FunctionBuilder::new(&mut m, fid);
+        b.ret(None);
+        b.finish();
+        let errs = verify_module(&m).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].to_string().contains("without value"));
+    }
+
+    #[test]
+    fn pointer_laxity_between_pointer_types() {
+        // Storing a struct pointer into a void* slot is fine, as in C.
+        let mut m = Module::new("t");
+        let void = m.types.void();
+        let vp = m.types.void_ptr();
+        let i32t = m.types.i32();
+        let ip = m.types.ptr(i32t);
+        let fid = m.declare_func("f", FuncSig::new(void, vec![ip]), false);
+        let mut b = FunctionBuilder::new(&mut m, fid);
+        let arg = b.param(0);
+        let slot = b.alloca(vp, None);
+        b.store(arg, slot);
+        b.ret(None);
+        b.finish();
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn branch_to_unknown_block_caught() {
+        let mut m = Module::new("t");
+        let void = m.types.void();
+        let fid = m.declare_func("f", FuncSig::new(void, vec![]), false);
+        let mut b = FunctionBuilder::new(&mut m, fid);
+        b.br(crate::function::BlockId(9));
+        b.finish();
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs[0].msg.contains("unknown block"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Golden tests for the textual IR printer: the exact rendering is part of
+//! the debugging contract (EXPERIMENTS.md and the CLI's `instrument`
+//! command show this text to humans).
+
+use rsti_ir::{
+    BinOp, CmpOp, FieldDef, FuncSig, FunctionBuilder, Inst, Module, Operand, PacKey, PacSite,
+    StructDef,
+};
+
+/// Builds a tiny module exercising every printable construct and checks the
+/// rendering line by line.
+#[test]
+fn print_module_golden() {
+    let mut m = Module::new("golden");
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    let label_ty = m.types.char_ptr();
+    let node = m.types.declare_struct(StructDef {
+        name: "node".into(),
+        fields: vec![
+            FieldDef { name: "key".into(), ty: i64t, is_const: false },
+            FieldDef { name: "label".into(), ty: label_ty, is_const: true },
+        ],
+    });
+    let node_ty = m.types.intern(rsti_ir::Type::Struct(node));
+    let node_ptr = m.types.ptr(node_ty);
+
+    let callee = m.declare_func("callee", FuncSig::new(i32t, vec![i32t]), false);
+    {
+        let mut b = FunctionBuilder::new(&mut m, callee);
+        let p = b.param(0);
+        let r = b.bin(BinOp::Add, p, Operand::ConstInt(1, i32t), i32t);
+        b.ret(Some(r.into()));
+        b.finish();
+    }
+
+    let f = m.declare_func("driver", FuncSig::new(i32t, vec![]), false);
+    {
+        let mut b = FunctionBuilder::new(&mut m, f);
+        let obj = b.malloc(Operand::ConstInt(16, i64t), node_ptr);
+        let key_addr = b.field_addr(obj, node, 0);
+        b.store(Operand::ConstInt(7, i64t), key_addr);
+        let key = b.load(key_addr, i64t);
+        let cond = b.cmp(CmpOp::Gt, key, Operand::ConstInt(0, i64t));
+        let then_bb = b.new_block();
+        let done = b.new_block();
+        b.cond_br(cond, then_bb, done);
+        b.switch_to(then_bb);
+        let signed = b.fresh_value(node_ptr);
+        b.push_raw(Inst::PacSign {
+            result: signed,
+            value: obj.into(),
+            key: PacKey::Da,
+            modifier: 0xABCD,
+            loc: None,
+            site: PacSite::OnStore,
+        });
+        b.free(signed);
+        b.br(done);
+        b.switch_to(done);
+        let narrowed = b.convert(key, i32t);
+        let r = b.call(callee, vec![narrowed.into()]).unwrap();
+        b.ret(Some(r.into()));
+        b.finish();
+    }
+    rsti_ir::verify_module(&m).unwrap();
+
+    let text = rsti_ir::print_module(&m);
+    for needle in [
+        "; module golden",
+        "struct node ; #0 { long key, char* label const }",
+        "define int @callee(int %0)",
+        "define int @driver()",
+        "%0 = malloc long 16 as struct node*",
+        "%1 = fieldaddr %0, node.key",
+        "store long 7, %1",
+        "%2 = load long, %1",
+        "%3 = cmp gt %2, long 0",
+        "condbr %3, bb1, bb2",
+        "%4 = pac.sign.da %0, mod=0xabcd ; OnStore",
+        "free %4",
+        "%5 = convert %2 to int",
+        "%6 = call @callee(%5)",
+        "ret %6",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+/// External declarations print as `declare` lines.
+#[test]
+fn externals_print_as_declare() {
+    let mut m = Module::new("ext");
+    let void = m.types.void();
+    let cp = m.types.char_ptr();
+    m.declare_func("syslog", FuncSig::new(void, vec![cp]), true);
+    let text = rsti_ir::print_module(&m);
+    assert!(text.contains("declare void @syslog(char* %0)"), "{text}");
+}
+
+/// The verifier pinpoints the exact offending instruction.
+#[test]
+fn verifier_reports_position() {
+    let mut m = Module::new("bad");
+    let i32t = m.types.i32();
+    let void = m.types.void();
+    let f = m.declare_func("f", FuncSig::new(void, vec![]), false);
+    let mut b = FunctionBuilder::new(&mut m, f);
+    let slot = b.alloca(i32t, None);
+    b.store(Operand::ConstInt(0, i32t), slot); // fine
+    // Bad: load through a non-pointer.
+    let x = b.load(slot, i32t);
+    let bad = b.fresh_value(i32t);
+    b.push_raw(Inst::Load { result: bad, ptr: x.into(), ty: i32t });
+    b.ret(None);
+    b.finish();
+    let errs = rsti_ir::verify_module(&m).unwrap_err();
+    assert_eq!(errs.len(), 1);
+    let e = &errs[0];
+    assert_eq!(e.func, "f");
+    assert_eq!(e.block, 0);
+    assert_eq!(e.index, 3, "alloca, store, load, bad-load");
+    assert!(e.to_string().contains("expected a pointer"));
+}

@@ -1,0 +1,39 @@
+//! # rsti-pac — a software model of ARMv8.3 Pointer Authentication
+//!
+//! The RSTI paper enforces Scope-Type Integrity with the `pac*`/`aut*`
+//! instructions of ARMv8.3-A (paper §2.4, Figure 3). Reproducing that off
+//! PAC-capable hardware requires a functional model of the PA data path,
+//! which this crate provides:
+//!
+//! * [`qarma::Qarma64`] — a QARMA-64-structured tweakable block cipher,
+//!   the keyed primitive behind PAC computation;
+//! * [`keys::PacKeys`] — the five banked key registers, generated and held
+//!   by the trusted kernel (the attacker can never read them);
+//! * [`pointer::VaConfig`] — the 48-bit VA layout, the PAC bit-field, Top
+//!   Byte Ignore, and the poisoned-pointer encoding of `aut` failure;
+//! * [`unit::PacUnit`] — the sign/auth/strip operations with performance
+//!   counters.
+//!
+//! # Example
+//!
+//! ```
+//! use rsti_pac::{PacUnit, KeyId};
+//!
+//! let mut pa = PacUnit::for_tests();
+//! let ptr = 0x0000_7F00_0000_1000u64;
+//! let signed = pa.sign(KeyId::Da, ptr, /*modifier=*/0xC0FFEE);
+//! assert_eq!(pa.auth(KeyId::Da, signed, 0xC0FFEE).unwrap(), ptr);
+//! assert!(pa.auth(KeyId::Da, signed, 0xBAD).is_err());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod keys;
+pub mod pointer;
+pub mod qarma;
+pub mod unit;
+
+pub use keys::{KeyId, PacKeys};
+pub use pointer::VaConfig;
+pub use qarma::Qarma64;
+pub use unit::{AuthFailure, PacUnit};

@@ -1,0 +1,172 @@
+//! Virtual-address layout: where the PAC lives inside a pointer.
+//!
+//! With a 48-bit user virtual address space, bits 48..63 of a canonical
+//! user pointer are zero. PA packs the PAC into those unused bits. When
+//! Top Byte Ignore (TBI) is enabled — as RSTI requires for the
+//! pointer-to-pointer Compact Equivalent tag (§4.7.7) — the top byte
+//! (bits 56..63) is ignored by address translation and stays available for
+//! software tags, leaving bits 48..55 for the PAC.
+//!
+//! Authentication failure does not fault immediately on ARM: the `aut`
+//! instruction *poisons* the pointer by flipping its top two PAC bits, so
+//! the first dereference of the non-canonical pointer traps. We model the
+//! same two-step behaviour (the paper: "the top two bits of the pointer are
+//! flipped, causing the pointer to be unusable").
+
+/// Address-space geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VaConfig {
+    /// Number of translated VA bits (canonical user addresses fit below
+    /// `1 << va_bits`).
+    pub va_bits: u32,
+    /// Whether Top Byte Ignore is enabled (frees bits 56..63 for tags, at
+    /// the cost of PAC width).
+    pub tbi: bool,
+}
+
+impl VaConfig {
+    /// The configuration the paper's prototype runs with: 48-bit VA and
+    /// TBI enabled (needed by the pointer-to-pointer mechanism).
+    pub const fn paper_default() -> Self {
+        VaConfig { va_bits: 48, tbi: true }
+    }
+
+    /// 48-bit VA without TBI (wider PAC, no tag byte).
+    pub const fn no_tbi() -> Self {
+        VaConfig { va_bits: 48, tbi: false }
+    }
+
+    /// Lowest bit of the PAC field.
+    pub const fn pac_shift(&self) -> u32 {
+        self.va_bits
+    }
+
+    /// Number of PAC bits.
+    pub const fn pac_bits(&self) -> u32 {
+        let top = if self.tbi { 56 } else { 64 };
+        top - self.va_bits
+    }
+
+    /// Bit mask covering the PAC field.
+    pub const fn pac_mask(&self) -> u64 {
+        (((1u64 << self.pac_bits()) - 1)) << self.pac_shift()
+    }
+
+    /// Bit mask covering the translated address bits.
+    pub const fn addr_mask(&self) -> u64 {
+        (1u64 << self.va_bits) - 1
+    }
+
+    /// Bit mask covering the TBI tag byte (zero when TBI is off).
+    pub const fn tbi_mask(&self) -> u64 {
+        if self.tbi {
+            0xFF00_0000_0000_0000
+        } else {
+            0
+        }
+    }
+
+    /// The canonical (PAC-free, tag-free) form of a pointer.
+    pub const fn canonical(&self, ptr: u64) -> u64 {
+        ptr & self.addr_mask()
+    }
+
+    /// Whether `ptr` is a canonical user address (no PAC, no poison bits).
+    /// The TBI byte is ignored, as the hardware would.
+    pub const fn is_canonical(&self, ptr: u64) -> bool {
+        ptr & self.pac_mask() == 0 && (self.tbi || ptr & 0xFF00_0000_0000_0000 == 0)
+    }
+
+    /// Inserts `pac` (already truncated) into the PAC field of `ptr`.
+    pub const fn with_pac(&self, ptr: u64, pac: u64) -> u64 {
+        (ptr & !self.pac_mask()) | ((pac << self.pac_shift()) & self.pac_mask())
+    }
+
+    /// Extracts the PAC field of `ptr`.
+    pub const fn pac_of(&self, ptr: u64) -> u64 {
+        (ptr & self.pac_mask()) >> self.pac_shift()
+    }
+
+    /// Truncates a 64-bit cipher output into the PAC field width.
+    pub const fn truncate_pac(&self, full: u64) -> u64 {
+        full & ((1u64 << self.pac_bits()) - 1)
+    }
+
+    /// Poisons a pointer the way a failed `aut` does: flips the top two
+    /// bits of the PAC field, guaranteeing a non-canonical address.
+    pub const fn poison(&self, ptr: u64) -> u64 {
+        let top = self.pac_shift() + self.pac_bits() - 1;
+        ptr ^ (0b11u64 << (top - 1))
+    }
+
+    /// Reads the TBI tag byte.
+    pub const fn tbi_tag(&self, ptr: u64) -> u8 {
+        ((ptr & self.tbi_mask()) >> 56) as u8
+    }
+
+    /// Writes the TBI tag byte (no-op mask when TBI is off).
+    pub const fn with_tbi_tag(&self, ptr: u64, tag: u8) -> u64 {
+        (ptr & !self.tbi_mask()) | (((tag as u64) << 56) & self.tbi_mask())
+    }
+
+    /// Clears the TBI tag byte.
+    pub const fn clear_tbi(&self, ptr: u64) -> u64 {
+        ptr & !self.tbi_mask()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CFG: VaConfig = VaConfig::paper_default();
+
+    #[test]
+    fn field_geometry_with_tbi() {
+        assert_eq!(CFG.pac_bits(), 8);
+        assert_eq!(CFG.pac_shift(), 48);
+        assert_eq!(CFG.pac_mask(), 0x00FF_0000_0000_0000);
+        assert_eq!(CFG.tbi_mask(), 0xFF00_0000_0000_0000);
+    }
+
+    #[test]
+    fn field_geometry_without_tbi() {
+        let cfg = VaConfig::no_tbi();
+        assert_eq!(cfg.pac_bits(), 16);
+        assert_eq!(cfg.pac_mask(), 0xFFFF_0000_0000_0000);
+        assert_eq!(cfg.tbi_mask(), 0);
+    }
+
+    #[test]
+    fn pac_insert_extract_roundtrip() {
+        let p = 0x0000_7FFF_1234_5678u64;
+        let s = CFG.with_pac(p, 0xAB);
+        assert_eq!(CFG.pac_of(s), 0xAB);
+        assert_eq!(CFG.canonical(s), p);
+        assert!(!CFG.is_canonical(s));
+        assert!(CFG.is_canonical(p));
+    }
+
+    #[test]
+    fn poison_makes_noncanonical_and_differs() {
+        let p = 0x0000_7FFF_0000_0010u64;
+        let signed = CFG.with_pac(p, 0x00); // PAC happens to be zero
+        let bad = CFG.poison(signed);
+        assert_ne!(bad, signed);
+        assert!(!CFG.is_canonical(bad));
+        // Poison flips exactly two bits at the top of the PAC field.
+        assert_eq!((bad ^ signed).count_ones(), 2);
+    }
+
+    #[test]
+    fn tbi_tagging() {
+        let p = 0x0000_7FFF_0000_0010u64;
+        let t = CFG.with_tbi_tag(p, 0x5A);
+        assert_eq!(CFG.tbi_tag(t), 0x5A);
+        assert_eq!(CFG.clear_tbi(t), p);
+        // Tagging does not disturb the address or PAC fields.
+        assert_eq!(CFG.canonical(t), p);
+        // With TBI on, a tagged pointer still counts as canonical.
+        assert!(CFG.is_canonical(t));
+    }
+}

@@ -1,0 +1,201 @@
+//! The PA "functional unit": sign / authenticate / strip, wired to the key
+//! bank and the VA layout. This is the software stand-in for the `pac*`,
+//! `aut*`, and `xpac*` instructions the RSTI-instrumented binary executes.
+
+use crate::keys::{KeyId, PacKeys};
+use crate::pointer::VaConfig;
+use crate::qarma::Qarma64;
+use std::fmt;
+
+/// Error produced by a failed authentication.
+///
+/// Carries the *poisoned* pointer: real hardware does not fault inside
+/// `aut`, it hands back a non-canonical pointer that faults on first use.
+/// Callers that model the architecture precisely (the VM) propagate the
+/// poisoned value; tests can assert on the failure directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthFailure {
+    /// The pointer with its top two PAC bits flipped.
+    pub poisoned: u64,
+    /// The PAC found on the pointer.
+    pub found_pac: u64,
+    /// The PAC that would have been correct for the supplied modifier.
+    pub expected_pac: u64,
+}
+
+impl fmt::Display for AuthFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pointer authentication failed: found PAC {:#x}, expected {:#x}",
+            self.found_pac, self.expected_pac
+        )
+    }
+}
+
+impl std::error::Error for AuthFailure {}
+
+/// A PA unit: one key bank + one VA configuration + the PAC cipher.
+#[derive(Debug, Clone)]
+pub struct PacUnit {
+    cfg: VaConfig,
+    ciphers: [Qarma64; 5],
+    /// Number of `pac` operations executed (performance counters).
+    pub sign_count: u64,
+    /// Number of `aut` operations executed.
+    pub auth_count: u64,
+    /// Number of `aut` operations that failed.
+    pub fail_count: u64,
+}
+
+impl PacUnit {
+    /// Builds a unit from a key bank and layout.
+    pub fn new(keys: &PacKeys, cfg: VaConfig) -> Self {
+        let mk = |id: KeyId| Qarma64::new(keys.key(id));
+        PacUnit {
+            cfg,
+            ciphers: [mk(KeyId::Ia), mk(KeyId::Ib), mk(KeyId::Da), mk(KeyId::Db), mk(KeyId::Ga)],
+            sign_count: 0,
+            auth_count: 0,
+            fail_count: 0,
+        }
+    }
+
+    /// A unit with the fixed test key bank and the paper's VA layout.
+    pub fn for_tests() -> Self {
+        Self::new(&PacKeys::test_keys(), VaConfig::paper_default())
+    }
+
+    /// The VA layout in force.
+    pub fn config(&self) -> VaConfig {
+        self.cfg
+    }
+
+    fn cipher(&self, key: KeyId) -> &Qarma64 {
+        &self.ciphers[match key {
+            KeyId::Ia => 0,
+            KeyId::Ib => 1,
+            KeyId::Da => 2,
+            KeyId::Db => 3,
+            KeyId::Ga => 4,
+        }]
+    }
+
+    /// Computes the PAC for a canonical pointer + modifier, truncated to
+    /// the PAC field width. The TBI byte takes no part in the computation
+    /// (hardware excludes ignored bits).
+    pub fn compute_pac(&self, key: KeyId, ptr: u64, modifier: u64) -> u64 {
+        let canon = self.cfg.canonical(ptr);
+        self.cfg.truncate_pac(self.cipher(key).encrypt(canon, modifier))
+    }
+
+    /// `pac` — signs `ptr` with `modifier`, inserting the PAC into the
+    /// unused top bits. Any pre-existing PAC bits are replaced; the TBI
+    /// tag byte is preserved.
+    pub fn sign(&mut self, key: KeyId, ptr: u64, modifier: u64) -> u64 {
+        self.sign_count += 1;
+        let pac = self.compute_pac(key, ptr, modifier);
+        self.cfg.with_pac(ptr, pac)
+    }
+
+    /// `aut` — authenticates `ptr` against `modifier`.
+    ///
+    /// # Errors
+    /// Returns [`AuthFailure`] (with the poisoned pointer the hardware
+    /// would produce) when the PAC does not match.
+    pub fn auth(&mut self, key: KeyId, ptr: u64, modifier: u64) -> Result<u64, AuthFailure> {
+        self.auth_count += 1;
+        let expected = self.compute_pac(key, ptr, modifier);
+        let found = self.cfg.pac_of(ptr);
+        if found == expected {
+            // PAC removed; address restored to canonical (TBI byte kept).
+            Ok((ptr & !self.cfg.pac_mask()) | (self.cfg.canonical(ptr) & self.cfg.pac_mask()))
+        } else {
+            self.fail_count += 1;
+            Err(AuthFailure { poisoned: self.cfg.poison(ptr), found_pac: found, expected_pac: expected })
+        }
+    }
+
+    /// `xpac` — strips the PAC without authenticating (used before calls
+    /// into uninstrumented libraries).
+    pub fn strip(&self, ptr: u64) -> u64 {
+        ptr & !self.cfg.pac_mask()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_then_auth_roundtrips() {
+        let mut u = PacUnit::for_tests();
+        let p = 0x0000_7F00_0000_1040u64;
+        let s = u.sign(KeyId::Da, p, 0x1234);
+        assert_ne!(s, p, "PAC should be non-zero for this input");
+        let back = u.auth(KeyId::Da, s, 0x1234).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(u.sign_count, 1);
+        assert_eq!(u.auth_count, 1);
+        assert_eq!(u.fail_count, 0);
+    }
+
+    #[test]
+    fn wrong_modifier_fails_and_poisons() {
+        let mut u = PacUnit::for_tests();
+        let p = 0x0000_7F00_0000_1040u64;
+        let s = u.sign(KeyId::Da, p, 0x1234);
+        let err = u.auth(KeyId::Da, s, 0x1235).unwrap_err();
+        assert!(!u.config().is_canonical(err.poisoned));
+        assert_ne!(err.poisoned, s);
+        assert_eq!(u.fail_count, 1);
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let mut u = PacUnit::for_tests();
+        let p = 0x0000_7F00_0000_2000u64;
+        let s = u.sign(KeyId::Da, p, 7);
+        assert!(u.auth(KeyId::Db, s, 7).is_err());
+    }
+
+    #[test]
+    fn unsigned_pointer_usually_fails_auth() {
+        // An unsigned (PAC = 0) pointer only authenticates when the true
+        // PAC happens to be zero: probability 2^-8 with TBI. Check a batch.
+        let mut u = PacUnit::for_tests();
+        let fails = (0..256u64)
+            .filter(|i| u.auth(KeyId::Da, 0x7F00_0000_0000 + i * 16, 99).is_err())
+            .count();
+        assert!(fails >= 250, "only {fails}/256 unsigned pointers failed");
+    }
+
+    #[test]
+    fn strip_removes_pac_without_checking() {
+        let mut u = PacUnit::for_tests();
+        let p = 0x0000_7F00_0000_3000u64;
+        let s = u.sign(KeyId::Da, p, 1);
+        assert_eq!(u.strip(s), p);
+    }
+
+    #[test]
+    fn tbi_tag_survives_signing() {
+        let mut u = PacUnit::for_tests();
+        let p = 0x0000_7F00_0000_4000u64;
+        let tagged = u.config().with_tbi_tag(p, 0x42);
+        let s = u.sign(KeyId::Da, tagged, 5);
+        assert_eq!(u.config().tbi_tag(s), 0x42);
+        // The PAC must not depend on the tag byte.
+        let s2 = u.sign(KeyId::Da, p, 5);
+        assert_eq!(u.config().pac_of(s), u.config().pac_of(s2));
+    }
+
+    #[test]
+    fn signing_twice_with_different_modifiers_changes_pac() {
+        let mut u = PacUnit::for_tests();
+        let p = 0x0000_7F00_0000_5000u64;
+        let a = u.sign(KeyId::Da, p, 100);
+        let b = u.sign(KeyId::Da, p, 200);
+        assert_ne!(u.config().pac_of(a), u.config().pac_of(b));
+    }
+}

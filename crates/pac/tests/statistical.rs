@@ -1,0 +1,104 @@
+//! Statistical properties of the PAC primitive: the defense's strength
+//! rests on PACs being uniformly distributed and key-separated.
+
+use rsti_pac::{KeyId, PacKeys, PacUnit, VaConfig};
+
+/// PAC values over sequential pointers must cover the 8-bit space roughly
+/// uniformly (no bucket pathologically hot or cold).
+#[test]
+fn pac_distribution_is_roughly_uniform() {
+    let mut u = PacUnit::for_tests();
+    let n = 4096u64;
+    let mut buckets = [0u32; 256];
+    for i in 0..n {
+        let p = 0x7F00_0000_0000 + i * 16;
+        let pac = u.config().pac_of(u.sign(KeyId::Da, p, 7));
+        buckets[pac as usize] += 1;
+    }
+    let expected = (n / 256) as f64; // 16 per bucket
+    let max = *buckets.iter().max().unwrap() as f64;
+    let min = *buckets.iter().min().unwrap() as f64;
+    // Loose 6-sigma-ish band for a binomial(4096, 1/256).
+    assert!(max < expected + 6.0 * expected.sqrt() + 6.0, "hot bucket: {max}");
+    assert!(min > 0.0, "some PAC value never occurs in 4096 samples");
+}
+
+/// Changing a single *modifier* bit flips the PAC about half the time per
+/// output bit — no linear structure an attacker could exploit to transfer
+/// a PAC between RSTI-types.
+#[test]
+fn modifier_avalanche_into_pac_field() {
+    let u = PacUnit::for_tests();
+    let p = 0x7F00_0000_4000u64;
+    let mut changed = 0u32;
+    let trials = 64 * 8;
+    for bit in 0..64 {
+        let a = u.compute_pac(KeyId::Da, p, 0x1234_5678);
+        let b = u.compute_pac(KeyId::Da, p, 0x1234_5678 ^ (1 << bit));
+        changed += (a ^ b).count_ones();
+    }
+    // Expected flips: 64 trials * 4 bits (half of 8). Allow a wide band.
+    let ratio = changed as f64 / trials as f64;
+    assert!(
+        (0.3..=0.7).contains(&ratio),
+        "modifier avalanche ratio {ratio} outside [0.3, 0.7]"
+    );
+}
+
+/// The five key registers are fully separated: the same (pointer,
+/// modifier) yields unrelated PACs under each key.
+#[test]
+fn keys_are_pairwise_separated() {
+    let u = PacUnit::for_tests();
+    let keys = [KeyId::Ia, KeyId::Ib, KeyId::Da, KeyId::Db, KeyId::Ga];
+    // One collision among 10 pairs on an 8-bit PAC is plausible; check a
+    // batch of pointers and require most to differ for every pair.
+    for (i, &a) in keys.iter().enumerate() {
+        for &b in &keys[i + 1..] {
+            let mut same = 0;
+            for k in 0..64u64 {
+                let p = 0x7F00_0000_8000 + k * 32;
+                if u.compute_pac(a, p, 1) == u.compute_pac(b, p, 1) {
+                    same += 1;
+                }
+            }
+            assert!(same < 8, "{a:?} vs {b:?}: {same}/64 PACs collide");
+        }
+    }
+}
+
+/// Poisoned pointers are non-canonical under both VA configurations, so a
+/// failed authentication can never silently produce a dereferenceable
+/// address.
+#[test]
+fn poison_is_never_canonical() {
+    for cfg in [VaConfig::paper_default(), VaConfig::no_tbi()] {
+        for i in 0..512u64 {
+            let p = i * 0x1_0000 + 0x40;
+            assert!(
+                !cfg.is_canonical(cfg.poison(p)),
+                "poisoned {p:#x} stayed canonical under {cfg:?}"
+            );
+        }
+    }
+}
+
+/// Fresh random key banks produce different PACs for identical inputs —
+/// per-process keys make offline PAC dictionaries useless.
+#[test]
+fn random_key_banks_differ() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let k1 = PacKeys::random(&mut rng);
+    let k2 = PacKeys::random(&mut rng);
+    let u1 = PacUnit::new(&k1, VaConfig::paper_default());
+    let u2 = PacUnit::new(&k2, VaConfig::paper_default());
+    let mut same = 0;
+    for i in 0..64u64 {
+        let p = 0x7F00_0000_0000 + i * 8;
+        if u1.compute_pac(KeyId::Da, p, 5) == u2.compute_pac(KeyId::Da, p, 5) {
+            same += 1;
+        }
+    }
+    assert!(same < 8, "{same}/64 PACs identical across key banks");
+}

@@ -1,0 +1,286 @@
+//! The VM's memory model.
+//!
+//! A 48-bit virtual address space split into segments, mirroring a typical
+//! user process:
+//!
+//! | segment | base | contents | attacker-writable |
+//! |---|---|---|---|
+//! | external code | `0x0800_...` | addresses of uninstrumented library functions | no |
+//! | code          | `0x1000_...` | addresses of program functions | no |
+//! | globals       | `0x2000_...` | module globals | **yes** |
+//! | strings       | `0x3000_...` | string literals (read-only to the program) | **yes** |
+//! | heap          | `0x4000_...` | `malloc` arena | **yes** |
+//! | stack         | `0x7F00_...` | frame slots (grows up for simplicity) | **yes** |
+//!
+//! "Attacker-writable" marks what the memory-corruption primitive of the
+//! threat model (§3) may touch: an attacker with an arbitrary-write bug can
+//! modify any *data* memory but not code, PA keys (they live outside this
+//! address space entirely), or the VM's register file and call stack
+//! (shadow-stack assumption).
+
+use std::fmt;
+
+/// Segment bases (within a 48-bit VA).
+pub mod layout {
+    /// Uninstrumented-library function addresses ("libc").
+    pub const EXTERNAL_BASE: u64 = 0x0800_0000_0000;
+    /// Program function addresses.
+    pub const CODE_BASE: u64 = 0x1000_0000_0000;
+    /// Global variables.
+    pub const GLOBAL_BASE: u64 = 0x2000_0000_0000;
+    /// String literals.
+    pub const STR_BASE: u64 = 0x3000_0000_0000;
+    /// Heap arena.
+    pub const HEAP_BASE: u64 = 0x4000_0000_0000;
+    /// Stack arena.
+    pub const STACK_BASE: u64 = 0x7F00_0000_0000;
+    /// Bytes between consecutive function addresses.
+    pub const CODE_STRIDE: u64 = 16;
+}
+
+/// A memory access fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemFault {
+    /// Address outside every mapped segment (includes poisoned pointers).
+    Unmapped {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Write to a read-only segment (code, external code).
+    ReadOnly {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Access crosses the end of its segment.
+    OutOfRange {
+        /// Faulting address.
+        addr: u64,
+        /// Access size.
+        len: u64,
+    },
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
+            MemFault::ReadOnly { addr } => write!(f, "write to read-only memory {addr:#x}"),
+            MemFault::OutOfRange { addr, len } => {
+                write!(f, "access of {len} bytes at {addr:#x} crosses segment end")
+            }
+        }
+    }
+}
+
+struct Segment {
+    base: u64,
+    data: Vec<u8>,
+    writable: bool,
+    /// Whether the attacker's arbitrary-write primitive may target it.
+    attacker: bool,
+}
+
+/// The process memory.
+pub struct Memory {
+    segments: Vec<Segment>,
+}
+
+impl Memory {
+    /// Creates memory with the given segment sizes (bytes).
+    pub fn new(global_size: u64, str_size: u64, heap_size: u64, stack_size: u64) -> Self {
+        use layout::*;
+        let seg = |base: u64, size: u64, writable: bool, attacker: bool| Segment {
+            base,
+            data: vec![0u8; size as usize],
+            writable,
+            attacker,
+        };
+        Memory {
+            segments: vec![
+                seg(GLOBAL_BASE, global_size.max(8), true, true),
+                seg(STR_BASE, str_size.max(8), false, true),
+                seg(HEAP_BASE, heap_size.max(64), true, true),
+                seg(STACK_BASE, stack_size.max(64), true, true),
+            ],
+        }
+    }
+
+    fn seg_of(&self, addr: u64) -> Option<usize> {
+        self.segments
+            .iter()
+            .position(|s| addr >= s.base && addr < s.base + s.data.len() as u64)
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Errors
+    /// Faults when the range is unmapped.
+    pub fn read(&self, addr: u64, len: u64) -> Result<&[u8], MemFault> {
+        let si = self.seg_of(addr).ok_or(MemFault::Unmapped { addr })?;
+        let s = &self.segments[si];
+        let off = (addr - s.base) as usize;
+        let end = off.checked_add(len as usize).ok_or(MemFault::OutOfRange { addr, len })?;
+        if end > s.data.len() {
+            return Err(MemFault::OutOfRange { addr, len });
+        }
+        Ok(&s.data[off..end])
+    }
+
+    /// Writes bytes at `addr`, honouring segment permissions.
+    ///
+    /// # Errors
+    /// Faults when the range is unmapped or read-only.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let si = self.seg_of(addr).ok_or(MemFault::Unmapped { addr })?;
+        let s = &mut self.segments[si];
+        if !s.writable {
+            return Err(MemFault::ReadOnly { addr });
+        }
+        let off = (addr - s.base) as usize;
+        let len = bytes.len() as u64;
+        let end = off
+            .checked_add(bytes.len())
+            .ok_or(MemFault::OutOfRange { addr, len })?;
+        if end > s.data.len() {
+            return Err(MemFault::OutOfRange { addr, len });
+        }
+        s.data[off..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// The attacker's arbitrary-write primitive: may target any
+    /// attacker-reachable data segment regardless of program-level
+    /// permissions (a buffer overflow does not respect `const`).
+    ///
+    /// # Errors
+    /// Faults only when the range is outside attacker-reachable memory
+    /// (code, keys, VM state).
+    pub fn attacker_write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let si = self.seg_of(addr).ok_or(MemFault::Unmapped { addr })?;
+        let s = &mut self.segments[si];
+        if !s.attacker {
+            return Err(MemFault::ReadOnly { addr });
+        }
+        let off = (addr - s.base) as usize;
+        let len = bytes.len() as u64;
+        let end = off
+            .checked_add(bytes.len())
+            .ok_or(MemFault::OutOfRange { addr, len })?;
+        if end > s.data.len() {
+            return Err(MemFault::OutOfRange { addr, len });
+        }
+        s.data[off..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, MemFault> {
+        let b = self.read(addr, 8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
+        self.write(addr, &v.to_le_bytes())
+    }
+}
+
+/// A bump heap allocator over the heap segment, with free tracking for
+/// temporal-safety experiments (RSTI does not *prevent* use-after-free —
+/// §7 — so freed memory stays readable; we only record the state).
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    next: u64,
+    limit: u64,
+    /// Live allocations: (addr, size).
+    pub live: Vec<(u64, u64)>,
+    /// Freed allocations: (addr, size).
+    pub freed: Vec<(u64, u64)>,
+}
+
+impl Allocator {
+    /// A fresh allocator over the heap segment.
+    pub fn new(heap_size: u64) -> Self {
+        Allocator {
+            next: layout::HEAP_BASE,
+            limit: layout::HEAP_BASE + heap_size,
+            live: Vec::new(),
+            freed: Vec::new(),
+        }
+    }
+
+    /// Allocates `size` bytes (8-byte aligned); `None` when exhausted.
+    pub fn malloc(&mut self, size: u64) -> Option<u64> {
+        let size = size.max(1).div_ceil(8) * 8;
+        if self.next + size > self.limit {
+            return None;
+        }
+        let addr = self.next;
+        self.next += size;
+        self.live.push((addr, size));
+        Some(addr)
+    }
+
+    /// Frees an allocation; `false` when `addr` is not a live allocation
+    /// base (double free / invalid free).
+    pub fn free(&mut self, addr: u64) -> bool {
+        if let Some(i) = self.live.iter().position(|&(a, _)| a == addr) {
+            let e = self.live.remove(i);
+            self.freed.push(e);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segmented_read_write() {
+        let mut m = Memory::new(64, 64, 256, 256);
+        m.write_u64(layout::GLOBAL_BASE + 8, 0xDEAD).unwrap();
+        assert_eq!(m.read_u64(layout::GLOBAL_BASE + 8).unwrap(), 0xDEAD);
+        assert!(matches!(m.read_u64(0x1234), Err(MemFault::Unmapped { .. })));
+    }
+
+    #[test]
+    fn strings_are_program_read_only_but_attacker_writable() {
+        let mut m = Memory::new(64, 64, 64, 64);
+        let a = layout::STR_BASE;
+        assert!(matches!(m.write(a, b"x"), Err(MemFault::ReadOnly { .. })));
+        m.attacker_write(a, b"x").unwrap();
+        assert_eq!(m.read(a, 1).unwrap(), b"x");
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let m = Memory::new(16, 16, 16, 16);
+        assert!(matches!(
+            m.read(layout::GLOBAL_BASE + 12, 8),
+            Err(MemFault::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn allocator_bump_and_free() {
+        let mut a = Allocator::new(1024);
+        let p = a.malloc(10).unwrap();
+        let q = a.malloc(10).unwrap();
+        assert_eq!(q - p, 16, "rounded to 8-byte multiples");
+        assert!(a.free(p));
+        assert!(!a.free(p), "double free reported");
+        assert_eq!(a.live.len(), 1);
+        assert_eq!(a.freed.len(), 1);
+    }
+
+    #[test]
+    fn allocator_exhaustion() {
+        let mut a = Allocator::new(32);
+        assert!(a.malloc(16).is_some());
+        assert!(a.malloc(16).is_some());
+        assert!(a.malloc(1).is_none());
+    }
+}

@@ -1,0 +1,1433 @@
+//! The interpreter: executes (instrumented) IR under the PA model.
+//!
+//! The VM realizes the paper's threat model (§3):
+//!
+//! * the **attacker** owns an arbitrary read/write primitive over data
+//!   memory ([`Vm::attacker_write`] / [`Vm::attacker_read`]) — the result
+//!   of some memory-corruption bug — usable between execution steps;
+//! * **DEP** holds: only functions loaded with the module can ever run;
+//!   there is no way to introduce code;
+//! * the **register file and call stack are out of reach** (shadow-stack /
+//!   trusted-kernel assumptions): corruption happens to memory, not to
+//!   in-flight values;
+//! * **PA keys** live outside the address space entirely.
+//!
+//! Detection therefore works exactly as on hardware: the attacker can
+//! write any bytes anywhere in data memory, but cannot mint a PAC, so a
+//! corrupted pointer fails `aut` on its next load ([`Trap::PacAuthFailure`])
+//! or — if it never passes through `aut` — faults as a non-canonical
+//! address.
+
+use crate::cycles::CostModel;
+use crate::mem::{layout, Allocator, MemFault, Memory};
+use rsti_core::{GlobalSign, InstrumentedProgram, Mechanism};
+use rsti_ir::{
+    BinOp, CmpOp, FuncId, GlobalInit, Inst, Module, Operand, PacKey, PacSite, Terminator, Type,
+    TypeId, ValueId, VarId,
+};
+use rsti_pac::{KeyId, PacKeys, PacUnit, VaConfig};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtVal {
+    /// Integer (all widths; `bool` is 0/1).
+    I(i64),
+    /// Double.
+    F(f64),
+    /// Pointer — the full 64-bit pattern including PAC/TBI bits.
+    P(u64),
+}
+
+impl fmt::Display for RtVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtVal::I(v) => write!(f, "{v}"),
+            RtVal::F(v) => write!(f, "{v}"),
+            RtVal::P(v) => write!(f, "{v:#x}"),
+        }
+    }
+}
+
+/// Why execution stopped abnormally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trap {
+    /// A PAC authentication failed — RSTI detected pointer corruption.
+    PacAuthFailure {
+        /// Function where the `aut` executed.
+        func: String,
+        /// Source line (when debug info is present).
+        line: u32,
+        /// Which instrumentation site fired.
+        site: PacSite,
+        /// The PAC found on the pointer.
+        found_pac: u64,
+        /// The PAC expected for the modifier.
+        expected_pac: u64,
+    },
+    /// A pointer-to-pointer authentication failed (missing/forged CE tag
+    /// or metadata).
+    PpAuthFailure {
+        /// Function where it happened.
+        func: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// A memory fault (unmapped, read-only, out-of-range) — including
+    /// dereferences of poisoned pointers.
+    Mem {
+        /// Function where it happened.
+        func: String,
+        /// The fault.
+        fault: MemFault,
+    },
+    /// An indirect call through a non-canonical (PAC-carrying or poisoned)
+    /// pointer.
+    NonCanonicalCall {
+        /// Function where it happened.
+        func: String,
+        /// The raw pointer.
+        ptr: u64,
+    },
+    /// An indirect call to an address that is not a function.
+    CallNonFunction {
+        /// Function where it happened.
+        func: String,
+        /// The target address.
+        target: u64,
+    },
+    /// Integer division by zero.
+    DivByZero {
+        /// Function where it happened.
+        func: String,
+    },
+    /// The step budget ran out.
+    FuelExhausted,
+    /// Call depth exceeded the frame limit.
+    StackOverflow,
+    /// `malloc` arena exhausted.
+    HeapExhausted,
+    /// Internal inconsistency (verified IR should never reach these).
+    BadProgram(String),
+}
+
+impl Trap {
+    /// Whether this trap is a *defense detection* (an RSTI check fired)
+    /// rather than an ordinary crash.
+    pub fn is_detection(&self) -> bool {
+        matches!(self, Trap::PacAuthFailure { .. } | Trap::PpAuthFailure { .. })
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::PacAuthFailure { func, line, site, found_pac, expected_pac } => write!(
+                f,
+                "PAC authentication failure in {func}:{line} at {site:?} (found {found_pac:#x}, expected {expected_pac:#x})"
+            ),
+            Trap::PpAuthFailure { func, reason } => {
+                write!(f, "pointer-to-pointer authentication failure in {func}: {reason}")
+            }
+            Trap::Mem { func, fault } => write!(f, "memory fault in {func}: {fault}"),
+            Trap::NonCanonicalCall { func, ptr } => {
+                write!(f, "indirect call through non-canonical pointer {ptr:#x} in {func}")
+            }
+            Trap::CallNonFunction { func, target } => {
+                write!(f, "indirect call to non-function {target:#x} in {func}")
+            }
+            Trap::DivByZero { func } => write!(f, "division by zero in {func}"),
+            Trap::FuelExhausted => write!(f, "fuel exhausted"),
+            Trap::StackOverflow => write!(f, "stack overflow"),
+            Trap::HeapExhausted => write!(f, "heap exhausted"),
+            Trap::BadProgram(s) => write!(f, "bad program: {s}"),
+        }
+    }
+}
+
+/// How execution ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Status {
+    /// `main` returned with this value.
+    Exited(i64),
+    /// Execution trapped.
+    Trapped(Trap),
+}
+
+impl Status {
+    /// Whether the program ran to completion.
+    pub fn is_exit(&self) -> bool {
+        matches!(self, Status::Exited(_))
+    }
+}
+
+/// A call into an external (uninstrumented) function, as observed by the
+/// harness. Attack drivers assert on these to decide whether a payload
+/// executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtEvent {
+    /// External function name.
+    pub name: String,
+    /// Rendered arguments.
+    pub args: Vec<String>,
+    /// Whether this external is security-critical (`system`, `exec`,
+    /// `mprotect`, `dlopen`, ...) — reaching one with attacker-controlled
+    /// state is the attack goal in the Table 1 scenarios.
+    pub critical: bool,
+}
+
+/// Names treated as security-critical sinks.
+pub const CRITICAL_EXTERNALS: &[&str] =
+    &["system", "exec", "execve", "mprotect", "dlopen", "ap_get_exec_line", "setuid"];
+
+/// Aggregate results of a run.
+#[derive(Debug, Clone)]
+pub struct ExecResult {
+    /// Final status.
+    pub status: Status,
+    /// `print_int` / `print_str` output lines.
+    pub output: Vec<String>,
+    /// External-call events.
+    pub events: Vec<ExtEvent>,
+    /// Modelled cycles.
+    pub cycles: u64,
+    /// Instructions executed.
+    pub insts: u64,
+    /// PA operations executed (sign, auth, failures).
+    pub pac_signs: u64,
+    /// Authentications executed.
+    pub pac_auths: u64,
+    /// Dynamic PA-operation counts per instrumentation site kind, in
+    /// [`SITE_ORDER`] order — the runtime profile behind the §6.3.2
+    /// instrumentation/overhead correlation.
+    pub site_counts: [u64; 6],
+}
+
+/// Order of [`ExecResult::site_counts`].
+pub const SITE_ORDER: [PacSite; 6] = [
+    PacSite::OnStore,
+    PacSite::OnLoad,
+    PacSite::CastResign,
+    PacSite::ArgResign,
+    PacSite::ExternalStrip,
+    PacSite::NewPointer,
+];
+
+fn site_index(site: PacSite) -> usize {
+    SITE_ORDER.iter().position(|&s| s == site).expect("covered")
+}
+
+impl ExecResult {
+    /// Whether any critical external was reached.
+    pub fn reached_critical(&self) -> bool {
+        self.events.iter().any(|e| e.critical)
+    }
+}
+
+/// How RSTI checks are enforced at runtime.
+///
+/// The paper (§7, "RSTI with mechanisms other than PAC") argues the
+/// policy is enforcement-agnostic: "The enforcement can be done with any
+/// mechanism that can utilize the scope-type information. For example,
+/// CCFI relies on classes of pointers and an AES cryptographic function
+/// to generate MACs that get stored alongside the object." Both styles
+/// are implemented:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// ARMv8.3-style: the PAC lives in the pointer's unused top bits.
+    #[default]
+    PacInPointer,
+    /// CCFI-style: a keyed MAC over (pointer, modifier) is kept in a
+    /// shadow table indexed by the slot address; pointers stay canonical.
+    MacTable,
+}
+
+/// A loadable program image: module + runtime configuration.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// The (possibly instrumented) module.
+    pub module: Module,
+    /// Mechanism, `None` for an uninstrumented baseline image.
+    pub mechanism: Option<Mechanism>,
+    /// Globals the loader signs before `main`.
+    pub global_signing: Vec<GlobalSign>,
+    /// PA keys (per-process, kernel-generated).
+    pub keys: PacKeys,
+    /// VA layout.
+    pub va: VaConfig,
+    /// Cycle model.
+    pub cost: CostModel,
+    /// Heap arena size in bytes.
+    pub heap_size: u64,
+    /// Stack arena size in bytes.
+    pub stack_size: u64,
+    /// Enforcement backend.
+    pub backend: Backend,
+    /// Whether return addresses are protected out-of-band (the paper's §3
+    /// shadow-stack assumption; default `true`). With `false`, each frame
+    /// spills its return address into attacker-reachable stack memory and
+    /// honours whatever is there on return — the classic ROP surface RSTI
+    /// explicitly does *not* cover.
+    pub shadow_stack: bool,
+}
+
+impl Image {
+    /// Switches the enforcement backend (builder style).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Disables the shadow stack (builder style) — for experiments that
+    /// demonstrate why the paper's §3 assumption matters.
+    pub fn without_shadow_stack(mut self) -> Self {
+        self.shadow_stack = false;
+        self
+    }
+}
+
+impl Image {
+    /// Builds an image from an instrumented program.
+    ///
+    /// The PARTS baseline pays a higher per-PAC-op cost: the paper
+    /// attributes PARTS' much larger overhead (19.5% vs RSTI's 1.54% on
+    /// nbench) to engineering, not extra checks — "using LLVM ptrauth
+    /// intrinsics, running the pass in the backend, using LTO and -O2
+    /// optimizations allowed our compiler to produce more optimized code"
+    /// (§6.3.2). We model PARTS' non-inlined runtime calls and spills as
+    /// `pac_op = 22` cycles (PA op + call + two memory accesses) instead
+    /// of RSTI's inlined 7.
+    pub fn from_instrumented(p: &InstrumentedProgram) -> Self {
+        let mut cost = CostModel::default();
+        if p.mechanism == Mechanism::Parts {
+            cost.pac_op = 22;
+            cost.pp_pac = 24;
+        }
+        Image {
+            module: p.module.clone(),
+            mechanism: Some(p.mechanism),
+            global_signing: p.global_signing.clone(),
+            keys: PacKeys::test_keys(),
+            va: VaConfig::paper_default(),
+            cost,
+            heap_size: 4 << 20,
+            stack_size: 4 << 20,
+            backend: Backend::PacInPointer,
+            shadow_stack: true,
+        }
+    }
+
+    /// Builds an uninstrumented baseline image.
+    pub fn baseline(m: &Module) -> Self {
+        Image {
+            module: m.clone(),
+            mechanism: None,
+            global_signing: Vec::new(),
+            keys: PacKeys::test_keys(),
+            va: VaConfig::paper_default(),
+            cost: CostModel::default(),
+            heap_size: 4 << 20,
+            stack_size: 4 << 20,
+            backend: Backend::PacInPointer,
+            shadow_stack: true,
+        }
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    block: usize,
+    idx: usize,
+    regs: Vec<Option<RtVal>>,
+    stack_mark: u64,
+    ret_to: Option<ValueId>,
+    locals: Vec<(VarId, u64)>,
+    alloca_cache: HashMap<ValueId, u64>,
+    /// Without a shadow stack: the in-memory slot holding the return
+    /// address, and the value it is supposed to contain.
+    ret_slot: Option<(u64, u64)>,
+}
+
+/// The virtual machine.
+pub struct Vm<'img> {
+    img: &'img Image,
+    /// Memory (attacker-reachable data lives here).
+    pub mem: Memory,
+    alloc: Allocator,
+    pac: PacUnit,
+    pp_table: HashMap<u8, u64>,
+    frames: Vec<Frame>,
+    output: Vec<String>,
+    events: Vec<ExtEvent>,
+    cycles: u64,
+    insts: u64,
+    fuel: u64,
+    global_addrs: Vec<u64>,
+    str_addrs: Vec<u64>,
+    stack_top: u64,
+    status: Option<Status>,
+    paused: bool,
+    /// MacTable backend: slot address → MAC of (pointer, modifier).
+    /// Lives outside the attacker-addressable space, like the PA keys —
+    /// CCFI's inline MACs would instead be copyable alongside the object,
+    /// a weakening we do not model.
+    mac_table: HashMap<u64, u64>,
+    /// MacTable backend: MAC staged by a `PacSign` awaiting its store, or
+    /// consumed by an immediately following `PacAuth` (register-domain
+    /// re-sign round trips).
+    pending_mac: Option<u64>,
+    /// MacTable backend: slot address of the last pointer load.
+    last_ptr_load: Option<u64>,
+    site_counts: [u64; 6],
+}
+
+/// Result of [`Vm::run_to_function`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunStop {
+    /// The watched function was entered; the VM is paused at its first
+    /// instruction.
+    Entered,
+    /// Execution ended before reaching the function.
+    Done(Status),
+}
+
+impl<'img> Vm<'img> {
+    /// Loads an image: lays out globals and strings, applies load-time
+    /// signing, and prepares to call `main`.
+    ///
+    /// # Panics
+    /// Panics when the module has no `main` function.
+    pub fn new(img: &'img Image) -> Self {
+        let m = &img.module;
+        // Globals layout.
+        let mut gaddr = Vec::with_capacity(m.globals.len());
+        let mut goff = 0u64;
+        for g in &m.globals {
+            gaddr.push(layout::GLOBAL_BASE + goff);
+            goff += m.types.size_of(g.ty).max(8).div_ceil(8) * 8;
+        }
+        // Strings layout.
+        let mut saddr = Vec::with_capacity(m.strings.len());
+        let mut soff = 0u64;
+        for s in &m.strings {
+            saddr.push(layout::STR_BASE + soff);
+            soff += s.len() as u64 + 1;
+        }
+        let mut mem = Memory::new(goff.max(8), soff.max(8), img.heap_size, img.stack_size);
+        // String contents (program-read-only segment; written here via the
+        // loader's privileged path).
+        for (s, &a) in m.strings.iter().zip(&saddr) {
+            let mut bytes = s.as_bytes().to_vec();
+            bytes.push(0);
+            mem.attacker_write(a, &bytes).expect("string fits");
+        }
+        let mut pac = PacUnit::new(&img.keys, img.va);
+        // Global initializers.
+        let vm_init = |mem: &mut Memory| {
+            for (gi, g) in m.globals.iter().enumerate() {
+                let a = gaddr[gi];
+                match &g.init {
+                    GlobalInit::Zero => {}
+                    GlobalInit::Int(v) => {
+                        let size = m.types.size_of(g.ty).min(8).max(1);
+                        let bytes = v.to_le_bytes();
+                        mem.write(a, &bytes[..size as usize]).expect("global fits");
+                    }
+                    GlobalInit::FuncAddr(fid) => {
+                        let fa = func_address(m, *fid);
+                        mem.write_u64(a, fa).expect("global fits");
+                    }
+                    GlobalInit::Str(sid) => {
+                        mem.write_u64(a, saddr[sid.0 as usize]).expect("global fits");
+                    }
+                }
+            }
+        };
+        vm_init(&mut mem);
+        // Load-time signing of static pointer initializers.
+        let mut boot_macs: Vec<(u64, u64)> = Vec::new();
+        for gs in &img.global_signing {
+            let a = gaddr[gs.global.0 as usize];
+            let raw = mem.read_u64(a).expect("global mapped");
+            if raw == 0 {
+                continue;
+            }
+            let modifier = if gs.mix_location { gs.modifier ^ a } else { gs.modifier };
+            match img.backend {
+                Backend::PacInPointer => {
+                    let signed = pac.sign(key_id(gs.key), raw, modifier);
+                    mem.write_u64(a, signed).expect("global mapped");
+                }
+                Backend::MacTable => {
+                    let mac = pac.compute_pac(key_id(gs.key), raw, modifier);
+                    boot_macs.push((a, mac));
+                }
+            }
+        }
+
+        let mut vm = Vm {
+            img,
+            mem,
+            alloc: Allocator::new(img.heap_size),
+            pac,
+            pp_table: HashMap::new(),
+            frames: Vec::new(),
+            output: Vec::new(),
+            events: Vec::new(),
+            cycles: 0,
+            insts: 0,
+            fuel: 500_000_000,
+            global_addrs: gaddr,
+            str_addrs: saddr,
+            stack_top: layout::STACK_BASE,
+            status: None,
+            paused: false,
+            mac_table: boot_macs.into_iter().collect(),
+            pending_mac: None,
+            last_ptr_load: None,
+            site_counts: [0; 6],
+        };
+        let main = m.func_by_name("main").expect("module has a main function");
+        vm.push_frame(main, vec![], None).expect("main frame");
+        vm
+    }
+
+    /// Sets the step budget.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    // ---- attacker API ------------------------------------------------------
+
+    /// The attacker's arbitrary-write primitive (threat model §3).
+    ///
+    /// # Errors
+    /// Fails only when the target is outside attacker-reachable memory.
+    pub fn attacker_write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        self.mem.attacker_write(addr, bytes)
+    }
+
+    /// Arbitrary-read (information disclosure) primitive.
+    ///
+    /// # Errors
+    /// Fails when the range is unmapped.
+    pub fn attacker_read(&self, addr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
+        self.mem.read(addr, len).map(|b| b.to_vec())
+    }
+
+    /// Convenience: attacker write of a u64.
+    ///
+    /// # Errors
+    /// Same as [`Vm::attacker_write`].
+    pub fn attacker_write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
+        self.attacker_write(addr, &v.to_le_bytes())
+    }
+
+    /// Address of a global by name.
+    pub fn global_addr(&self, name: &str) -> Option<u64> {
+        let gid = self.img.module.global_by_name(name)?;
+        Some(self.global_addrs[gid.0 as usize])
+    }
+
+    /// Address of the innermost live stack slot for a variable name.
+    pub fn local_addr(&self, name: &str) -> Option<u64> {
+        for fr in self.frames.iter().rev() {
+            for (vid, addr) in fr.locals.iter().rev() {
+                if self.img.module.var(*vid).name == name {
+                    return Some(*addr);
+                }
+            }
+        }
+        None
+    }
+
+    /// The code address of a function by name (what an attacker writes
+    /// into a hijacked code pointer).
+    pub fn func_addr(&self, name: &str) -> Option<u64> {
+        let fid = self.img.module.func_by_name(name)?;
+        Some(func_address(&self.img.module, fid))
+    }
+
+    /// Live heap allocations as (addr, size).
+    pub fn heap_live(&self) -> &[(u64, u64)] {
+        &self.alloc.live
+    }
+
+    /// Freed heap allocations as (addr, size).
+    pub fn heap_freed(&self) -> &[(u64, u64)] {
+        &self.alloc.freed
+    }
+
+    /// The in-memory return-address slot of the innermost frame, when the
+    /// shadow stack is disabled (attack experiments).
+    pub fn current_ret_slot(&self) -> Option<u64> {
+        self.frames.last().and_then(|f| f.ret_slot).map(|(slot, _)| slot)
+    }
+
+    // ---- execution ---------------------------------------------------------
+
+    /// Runs to completion.
+    pub fn run(&mut self) -> ExecResult {
+        self.run_internal(None);
+        self.result()
+    }
+
+    /// Runs until `name` is entered (paused at its first instruction), or
+    /// to completion.
+    pub fn run_to_function(&mut self, name: &str) -> RunStop {
+        let Some(fid) = self.img.module.func_by_name(name) else {
+            return RunStop::Done(Status::Trapped(Trap::BadProgram(format!(
+                "no function `{name}`"
+            ))));
+        };
+        self.run_internal(Some(fid));
+        match &self.status {
+            None => RunStop::Entered,
+            Some(s) => RunStop::Done(s.clone()),
+        }
+    }
+
+    /// Continues a paused run to completion.
+    pub fn finish(&mut self) -> ExecResult {
+        self.run_internal(None);
+        self.result()
+    }
+
+    /// The accumulated result (meaningful once finished; callable anytime).
+    pub fn result(&self) -> ExecResult {
+        ExecResult {
+            status: self.status.clone().unwrap_or(Status::Trapped(Trap::FuelExhausted)),
+            output: self.output.clone(),
+            events: self.events.clone(),
+            cycles: self.cycles,
+            insts: self.insts,
+            pac_signs: self.pac.sign_count,
+            pac_auths: self.pac.auth_count,
+            site_counts: self.site_counts,
+        }
+    }
+
+    fn run_internal(&mut self, watch: Option<FuncId>) {
+        let mut skip_check = std::mem::take(&mut self.paused);
+        while self.status.is_none() {
+            if !skip_check {
+                if let Some(w) = watch {
+                    if let Some(fr) = self.frames.last() {
+                        if fr.func == w && fr.block == 0 && fr.idx == 0 {
+                            self.paused = true;
+                            return; // paused at function entry
+                        }
+                    }
+                }
+            }
+            skip_check = false;
+            if let Err(t) = self.step() {
+                self.status = Some(Status::Trapped(t));
+            }
+        }
+    }
+
+    fn cur_func_name(&self) -> String {
+        self.frames
+            .last()
+            .map(|f| self.img.module.funcs[f.func.0 as usize].name.clone())
+            .unwrap_or_else(|| "<none>".into())
+    }
+
+    fn cur_line(&self) -> u32 {
+        let Some(fr) = self.frames.last() else { return 0 };
+        let f = &self.img.module.funcs[fr.func.0 as usize];
+        f.blocks[fr.block]
+            .insts
+            .get(fr.idx)
+            .and_then(|n| n.loc)
+            .map(|l| l.line)
+            .unwrap_or(0)
+    }
+
+    fn push_frame(
+        &mut self,
+        fid: FuncId,
+        args: Vec<RtVal>,
+        ret_to: Option<ValueId>,
+    ) -> Result<(), Trap> {
+        if self.frames.len() >= 4096 {
+            return Err(Trap::StackOverflow);
+        }
+        let img = self.img;
+        let f = &img.module.funcs[fid.0 as usize];
+        debug_assert!(!f.is_external);
+        let mut regs = vec![None; f.value_types.len()];
+        // Extra arguments (a hijacked call with a mismatched signature, or
+        // varargs) are silently dropped, as the AAPCS would leave them in
+        // unread registers.
+        for (i, a) in args.into_iter().enumerate() {
+            if let Some((pv, _)) = f.params.get(i) {
+                regs[pv.0 as usize] = Some(a);
+            }
+        }
+        // Without the shadow stack, spill a return token into stack
+        // memory, like a saved LR — attacker-reachable by construction.
+        let ret_slot = if self.img.shadow_stack {
+            None
+        } else {
+            let caller_code = self
+                .frames
+                .last()
+                .map(|fr| func_address(&self.img.module, fr.func))
+                .unwrap_or(layout::CODE_BASE);
+            let slot = self.stack_top;
+            self.stack_top += 8;
+            self.mem
+                .write_u64(slot, caller_code)
+                .map_err(|e| Trap::Mem { func: String::from("<prologue>"), fault: e })?;
+            Some((slot, caller_code))
+        };
+        self.frames.push(Frame {
+            func: fid,
+            block: 0,
+            idx: 0,
+            regs,
+            stack_mark: self.stack_top - if ret_slot.is_some() { 8 } else { 0 },
+            ret_to,
+            locals: Vec::new(),
+            alloca_cache: HashMap::new(),
+            ret_slot,
+        });
+        Ok(())
+    }
+
+    fn eval(&self, op: &Operand) -> Result<RtVal, Trap> {
+        let fr = self.frames.last().expect("active frame");
+        Ok(match op {
+            Operand::Value(v) => fr.regs[v.0 as usize]
+                .ok_or_else(|| Trap::BadProgram(format!("use of undefined {v}")))?,
+            Operand::ConstInt(v, _) => RtVal::I(*v),
+            Operand::ConstFloat(bits, _) => RtVal::F(f64::from_bits(*bits)),
+            Operand::Null(_) => RtVal::P(0),
+            Operand::FuncAddr(fid, _) => RtVal::P(func_address(&self.img.module, *fid)),
+            Operand::GlobalAddr(gid, _) => RtVal::P(self.global_addrs[gid.0 as usize]),
+            Operand::Str(sid, _) => RtVal::P(self.str_addrs[sid.0 as usize]),
+        })
+    }
+
+    fn set(&mut self, v: ValueId, val: RtVal) {
+        let fr = self.frames.last_mut().expect("active frame");
+        fr.regs[v.0 as usize] = Some(val);
+    }
+
+    fn as_ptr(&self, v: RtVal) -> Result<u64, Trap> {
+        match v {
+            RtVal::P(p) => Ok(p),
+            RtVal::I(i) => Ok(i as u64), // integer used as pointer (C laxity)
+            RtVal::F(_) => Err(Trap::BadProgram("float used as pointer".into())),
+        }
+    }
+
+    /// Checks canonical form and returns the translated address.
+    fn deref_addr(&self, p: u64) -> Result<u64, Trap> {
+        if !self.img.va.is_canonical(p) {
+            // Non-canonical (PAC-carrying, poisoned, forged): hardware
+            // translation faults.
+            return Err(Trap::Mem {
+                func: self.cur_func_name(),
+                fault: MemFault::Unmapped { addr: p },
+            });
+        }
+        Ok(self.img.va.canonical(p))
+    }
+
+    fn mem_err(&self, fault: MemFault) -> Trap {
+        Trap::Mem { func: self.cur_func_name(), fault }
+    }
+
+    fn load_typed(&self, addr: u64, ty: TypeId) -> Result<RtVal, Trap> {
+        let m = &self.img.module;
+        let v = match m.types.get(ty) {
+            Type::Bool | Type::I8 => {
+                let b = self.mem.read(addr, 1).map_err(|e| self.mem_err(e))?;
+                RtVal::I(b[0] as i8 as i64)
+            }
+            Type::I16 => {
+                let b = self.mem.read(addr, 2).map_err(|e| self.mem_err(e))?;
+                RtVal::I(i16::from_le_bytes(b.try_into().unwrap()) as i64)
+            }
+            Type::I32 => {
+                let b = self.mem.read(addr, 4).map_err(|e| self.mem_err(e))?;
+                RtVal::I(i32::from_le_bytes(b.try_into().unwrap()) as i64)
+            }
+            Type::I64 => {
+                let b = self.mem.read(addr, 8).map_err(|e| self.mem_err(e))?;
+                RtVal::I(i64::from_le_bytes(b.try_into().unwrap()))
+            }
+            Type::F64 => {
+                let b = self.mem.read(addr, 8).map_err(|e| self.mem_err(e))?;
+                RtVal::F(f64::from_le_bytes(b.try_into().unwrap()))
+            }
+            Type::Ptr(_) => {
+                let v = self.mem.read_u64(addr).map_err(|e| self.mem_err(e))?;
+                RtVal::P(v)
+            }
+            other => {
+                return Err(Trap::BadProgram(format!(
+                    "load of unsupported type {other:?}"
+                )))
+            }
+        };
+        Ok(v)
+    }
+
+    fn store_typed(&mut self, addr: u64, ty: TypeId, v: RtVal) -> Result<(), Trap> {
+        let img = self.img;
+        let m = &img.module;
+        let bytes: Vec<u8> = match (m.types.get(ty), v) {
+            (Type::Bool | Type::I8, RtVal::I(i)) => vec![i as u8],
+            (Type::I16, RtVal::I(i)) => (i as i16).to_le_bytes().to_vec(),
+            (Type::I32, RtVal::I(i)) => (i as i32).to_le_bytes().to_vec(),
+            (Type::I64, RtVal::I(i)) => i.to_le_bytes().to_vec(),
+            (Type::F64, RtVal::F(f)) => f.to_le_bytes().to_vec(),
+            (Type::F64, RtVal::I(i)) => (i as f64).to_le_bytes().to_vec(),
+            (Type::Ptr(_), v) => self.as_ptr(v)?.to_le_bytes().to_vec(),
+            (t, v) => {
+                return Err(Trap::BadProgram(format!("store of {v:?} into {t:?}")))
+            }
+        };
+        self.mem.write(addr, &bytes).map_err(|e| self.mem_err(e))
+    }
+
+    /// The type a store writes through (pointee of the ptr operand).
+    fn store_slot_type(&self, ptr_op: &Operand, value: RtVal) -> TypeId {
+        let fr = self.frames.last().expect("frame");
+        let f = &self.img.module.funcs[fr.func.0 as usize];
+        let pty = match ptr_op {
+            Operand::Value(v) => Some(f.value_type(*v)),
+            Operand::GlobalAddr(_, t) | Operand::Null(t) | Operand::Str(_, t) => Some(*t),
+            _ => None,
+        };
+        pty.and_then(|p| self.img.module.types.pointee(p)).unwrap_or(match value {
+            RtVal::F(_) => self.img.module.types.f64(),
+            _ => self.img.module.types.i64(),
+        })
+    }
+
+    fn modifier_with_loc(&self, modifier: u64, loc: &Option<Operand>) -> Result<u64, Trap> {
+        match loc {
+            None => Ok(modifier),
+            Some(l) => {
+                let a = self.as_ptr(self.eval(l)?)?;
+                Ok(modifier ^ self.img.va.canonical(a))
+            }
+        }
+    }
+
+    /// Executes one instruction or terminator.
+    ///
+    /// # Errors
+    /// Returns the trap that stopped execution.
+    pub fn step(&mut self) -> Result<(), Trap> {
+        if self.insts >= self.fuel {
+            return Err(Trap::FuelExhausted);
+        }
+        self.insts += 1;
+
+        let img = self.img;
+        let fr = self.frames.last().expect("active frame");
+        let fid = fr.func;
+        let (block, idx) = (fr.block, fr.idx);
+        let f = &img.module.funcs[fid.0 as usize];
+        let blk = &f.blocks[block];
+
+        if idx < blk.insts.len() {
+            let inst = blk.insts[idx].inst.clone();
+            self.cycles += self.img.cost.cost(&inst);
+            self.frames.last_mut().expect("frame").idx += 1;
+            self.exec_inst(&inst)
+        } else {
+            self.cycles += self.img.cost.branch;
+            let term = blk.term.clone();
+            self.exec_term(&term)
+        }
+    }
+
+    fn jump(&mut self, bb: rsti_ir::BlockId) {
+        let fr = self.frames.last_mut().expect("frame");
+        fr.block = bb.0 as usize;
+        fr.idx = 0;
+    }
+
+    fn exec_term(&mut self, t: &Terminator) -> Result<(), Trap> {
+        match t {
+            Terminator::Br(b) => {
+                self.jump(*b);
+                Ok(())
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                let c = self.eval(cond)?;
+                let taken = match c {
+                    RtVal::I(v) => v != 0,
+                    RtVal::P(p) => p != 0,
+                    RtVal::F(f) => f != 0.0,
+                };
+                self.jump(if taken { *then_bb } else { *else_bb });
+                Ok(())
+            }
+            Terminator::Ret(v) => {
+                let val = match v {
+                    Some(op) => Some(self.eval(op)?),
+                    None => None,
+                };
+                // Without a shadow stack, the epilogue loads the return
+                // address from memory. A corrupted value redirects control
+                // — the ROP surface the paper's §3 assumption closes.
+                if let Some((slot, expected)) = self.frames.last().and_then(|f| f.ret_slot) {
+                    let found = self.mem.read_u64(slot).map_err(|e| self.mem_err(e))?;
+                    if found != expected {
+                        let fr = self.frames.pop().expect("frame");
+                        self.stack_top = fr.stack_mark;
+                        let target = self.img.va.canonical(found);
+                        return match resolve_code_addr(&self.img.module, target) {
+                            Some((fid, true)) => {
+                                let name = self.img.module.funcs[fid.0 as usize].name.clone();
+                                let ret = self.img.module.funcs[fid.0 as usize].sig.ret;
+                                let _ = self.external_call(&name, &[], ret);
+                                // The "gadget" returns into undefined state.
+                                self.status = Some(Status::Trapped(Trap::CallNonFunction {
+                                    func: name,
+                                    target,
+                                }));
+                                Ok(())
+                            }
+                            Some((fid, false)) => self.push_frame(fid, vec![], None),
+                            None => Err(Trap::Mem {
+                                func: self.cur_func_name(),
+                                fault: MemFault::Unmapped { addr: found },
+                            }),
+                        };
+                    }
+                }
+                let fr = self.frames.pop().expect("frame");
+                self.stack_top = fr.stack_mark;
+                match self.frames.last_mut() {
+                    None => {
+                        let code = match val {
+                            Some(RtVal::I(i)) => i,
+                            Some(RtVal::P(p)) => p as i64,
+                            Some(RtVal::F(f)) => f as i64,
+                            None => 0,
+                        };
+                        self.status = Some(Status::Exited(code));
+                    }
+                    Some(caller) => {
+                        if let Some(rt) = fr.ret_to {
+                            caller.regs[rt.0 as usize] = val;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Terminator::Unreachable => {
+                Err(Trap::BadProgram(format!("reached unreachable in {}", self.cur_func_name())))
+            }
+        }
+    }
+
+    fn exec_inst(&mut self, inst: &Inst) -> Result<(), Trap> {
+        let img = self.img;
+        let m = &img.module;
+        match inst {
+            Inst::Alloca { result, ty, var } => {
+                let fr = self.frames.last().expect("frame");
+                if let Some(&cached) = fr.alloca_cache.get(result) {
+                    self.set(*result, RtVal::P(cached));
+                    return Ok(());
+                }
+                let size = m.types.size_of(*ty).max(1).div_ceil(8) * 8;
+                let addr = self.stack_top;
+                if addr + size >= layout::STACK_BASE + self.img.stack_size {
+                    return Err(Trap::StackOverflow);
+                }
+                self.stack_top += size;
+                // Zero the slot (fresh stack in this model).
+                let zeros = vec![0u8; size as usize];
+                self.mem.write(addr, &zeros).map_err(|e| self.mem_err(e))?;
+                let var = *var;
+                let fr = self.frames.last_mut().expect("frame");
+                fr.alloca_cache.insert(*result, addr);
+                if let Some(v) = var {
+                    fr.locals.push((v, addr));
+                }
+                self.set(*result, RtVal::P(addr));
+                Ok(())
+            }
+            Inst::Load { result, ptr, ty } => {
+                let p = self.as_ptr(self.eval(ptr)?)?;
+                let addr = self.deref_addr(p)?;
+                let v = self.load_typed(addr, *ty)?;
+                if img.backend == Backend::MacTable && m.types.is_ptr(*ty) {
+                    self.last_ptr_load = Some(addr);
+                }
+                self.set(*result, v);
+                Ok(())
+            }
+            Inst::Store { value, ptr } => {
+                let v = self.eval(value)?;
+                let p = self.as_ptr(self.eval(ptr)?)?;
+                let addr = self.deref_addr(p)?;
+                if img.backend == Backend::MacTable {
+                    if let Some(mac) = self.pending_mac.take() {
+                        self.mac_table.insert(addr, mac);
+                    }
+                }
+                let slot_ty = self.store_slot_type(ptr, v);
+                self.store_typed(addr, slot_ty, v)
+            }
+            Inst::FieldAddr { result, base, struct_id, field } => {
+                let b = self.as_ptr(self.eval(base)?)?;
+                let off = m.types.field_offset(*struct_id, *field);
+                self.set(*result, RtVal::P(b.wrapping_add(off)));
+                Ok(())
+            }
+            Inst::IndexAddr { result, base, index, elem_ty } => {
+                let b = self.as_ptr(self.eval(base)?)?;
+                let i = match self.eval(index)? {
+                    RtVal::I(i) => i,
+                    RtVal::P(p) => p as i64,
+                    RtVal::F(_) => {
+                        return Err(Trap::BadProgram("float index".into()))
+                    }
+                };
+                let sz = m.types.size_of(*elem_ty).max(1) as i64;
+                self.set(*result, RtVal::P(b.wrapping_add((i * sz) as u64)));
+                Ok(())
+            }
+            Inst::BitCast { result, value, .. } => {
+                let v = self.eval(value)?;
+                self.set(*result, v);
+                Ok(())
+            }
+            Inst::Convert { result, value, to } => {
+                let v = self.eval(value)?;
+                let out = match (v, m.types.get(*to)) {
+                    (RtVal::I(i), Type::F64) => RtVal::F(i as f64),
+                    (RtVal::F(f), Type::F64) => RtVal::F(f),
+                    (RtVal::F(f), _) => RtVal::I(wrap_int(m, *to, f as i64)),
+                    (RtVal::I(i), _) => RtVal::I(wrap_int(m, *to, i)),
+                    (RtVal::P(p), _) => RtVal::I(wrap_int(m, *to, p as i64)),
+                };
+                self.set(*result, out);
+                Ok(())
+            }
+            Inst::Bin { result, op, lhs, rhs, ty } => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                let out = self.binop(*op, a, b, *ty)?;
+                self.set(*result, out);
+                Ok(())
+            }
+            Inst::Cmp { result, op, lhs, rhs } => {
+                let a = self.eval(lhs)?;
+                let b = self.eval(rhs)?;
+                let r = cmp_vals(*op, a, b);
+                self.set(*result, RtVal::I(r as i64));
+                Ok(())
+            }
+            Inst::Call { result, callee, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a)?);
+                }
+                let callee_f = &m.funcs[callee.0 as usize];
+                if callee_f.is_external {
+                    let v = self.external_call(&callee_f.name, &argv, callee_f.sig.ret);
+                    if let (Some(r), Some(v)) = (result, v) {
+                        self.set(*r, v);
+                    }
+                    Ok(())
+                } else {
+                    self.push_frame(*callee, argv, *result)
+                }
+            }
+            Inst::CallIndirect { result, callee, args, sig } => {
+                let p = self.as_ptr(self.eval(callee)?)?;
+                if !self.img.va.is_canonical(p) {
+                    return Err(Trap::NonCanonicalCall { func: self.cur_func_name(), ptr: p });
+                }
+                let target = self.img.va.canonical(p);
+                let Some((fid, external)) = resolve_code_addr(m, target) else {
+                    return Err(Trap::CallNonFunction {
+                        func: self.cur_func_name(),
+                        target,
+                    });
+                };
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a)?);
+                }
+                if external {
+                    let name = m.funcs[fid.0 as usize].name.clone();
+                    let v = self.external_call(&name, &argv, sig.ret);
+                    if let (Some(r), Some(v)) = (result, v) {
+                        self.set(*r, v);
+                    }
+                    Ok(())
+                } else {
+                    self.push_frame(fid, argv, *result)
+                }
+            }
+            Inst::Malloc { result, size, .. } => {
+                let sz = match self.eval(size)? {
+                    RtVal::I(i) => i.max(0) as u64,
+                    RtVal::P(p) => p,
+                    RtVal::F(_) => return Err(Trap::BadProgram("float malloc size".into())),
+                };
+                let addr = self.alloc.malloc(sz).ok_or(Trap::HeapExhausted)?;
+                self.set(*result, RtVal::P(addr));
+                Ok(())
+            }
+            Inst::Free { ptr } => {
+                let p = self.as_ptr(self.eval(ptr)?)?;
+                let a = self.img.va.canonical(p);
+                if a != 0 && !self.alloc.free(a) {
+                    self.events.push(ExtEvent {
+                        name: "invalid_free".into(),
+                        args: vec![format!("{a:#x}")],
+                        critical: false,
+                    });
+                }
+                Ok(())
+            }
+            Inst::PrintInt { value } => {
+                let v = self.eval(value)?;
+                self.output.push(v.to_string());
+                Ok(())
+            }
+            Inst::PrintStr { s } => {
+                self.output.push(m.strings[s.0 as usize].clone());
+                Ok(())
+            }
+            Inst::PacSign { result, value, key, modifier, loc, site } => {
+                self.site_counts[site_index(*site)] += 1;
+                let p = self.as_ptr(self.eval(value)?)?;
+                let modifier = self.modifier_with_loc(*modifier, loc)?;
+                match img.backend {
+                    Backend::PacInPointer => {
+                        let signed = self.pac.sign(key_id(*key), p, modifier);
+                        self.set(*result, RtVal::P(signed));
+                    }
+                    Backend::MacTable => {
+                        // The pointer stays canonical; the MAC is staged
+                        // for the following store (or consumed by an
+                        // immediate re-auth round trip).
+                        self.pac.sign_count += 1;
+                        let mac = self.pac.compute_pac(key_id(*key), p, modifier);
+                        self.pending_mac = Some(mac);
+                        self.set(*result, RtVal::P(p));
+                    }
+                }
+                Ok(())
+            }
+            Inst::PacAuth { result, value, key, modifier, loc, site } => {
+                self.site_counts[site_index(*site)] += 1;
+                let p = self.as_ptr(self.eval(value)?)?;
+                let modifier = self.modifier_with_loc(*modifier, loc)?;
+                match img.backend {
+                    Backend::PacInPointer => match self.pac.auth(key_id(*key), p, modifier) {
+                        Ok(clean) => {
+                            self.set(*result, RtVal::P(clean));
+                            Ok(())
+                        }
+                        Err(e) => Err(Trap::PacAuthFailure {
+                            func: self.cur_func_name(),
+                            line: self.cur_line(),
+                            site: *site,
+                            found_pac: e.found_pac,
+                            expected_pac: e.expected_pac,
+                        }),
+                    },
+                    Backend::MacTable => {
+                        self.pac.auth_count += 1;
+                        let expected = self.pac.compute_pac(key_id(*key), p, modifier);
+                        // Register-domain round trip (cast/arg re-sign)?
+                        if let Some(mac) = self.pending_mac.take() {
+                            if mac == expected {
+                                self.set(*result, RtVal::P(p));
+                                return Ok(());
+                            }
+                        } else if let Some(slot) = self.last_ptr_load {
+                            if self.mac_table.get(&slot) == Some(&expected) {
+                                self.set(*result, RtVal::P(p));
+                                return Ok(());
+                            }
+                        }
+                        self.pac.fail_count += 1;
+                        Err(Trap::PacAuthFailure {
+                            func: self.cur_func_name(),
+                            line: self.cur_line(),
+                            site: *site,
+                            found_pac: 0,
+                            expected_pac: expected,
+                        })
+                    }
+                }
+            }
+            Inst::PacStrip { result, value } => {
+                self.site_counts[site_index(PacSite::ExternalStrip)] += 1;
+                let p = self.as_ptr(self.eval(value)?)?;
+                let stripped = self.pac.strip(p);
+                self.set(*result, RtVal::P(stripped));
+                Ok(())
+            }
+            Inst::PpAdd { ce, fe_modifier } => {
+                match self.pp_table.get(ce) {
+                    Some(&fe) if fe != *fe_modifier => Err(Trap::PpAuthFailure {
+                        func: self.cur_func_name(),
+                        reason: format!("CE {ce} metadata conflict"),
+                    }),
+                    _ => {
+                        self.pp_table.insert(*ce, *fe_modifier);
+                        Ok(())
+                    }
+                }
+            }
+            Inst::PpSign { result, value, ce, key } => {
+                let p = self.as_ptr(self.eval(value)?)?;
+                let fe = *self.pp_table.get(ce).ok_or_else(|| Trap::PpAuthFailure {
+                    func: self.cur_func_name(),
+                    reason: format!("pp_sign: CE {ce} not registered"),
+                })?;
+                match img.backend {
+                    Backend::PacInPointer => {
+                        let signed = self.pac.sign(key_id(*key), p, fe);
+                        self.set(*result, RtVal::P(signed));
+                    }
+                    Backend::MacTable => {
+                        self.pac.sign_count += 1;
+                        self.pending_mac =
+                            Some(self.pac.compute_pac(key_id(*key), p, fe));
+                        self.set(*result, RtVal::P(p));
+                    }
+                }
+                Ok(())
+            }
+            Inst::PpAddTbi { result, value, ce } => {
+                let p = self.as_ptr(self.eval(value)?)?;
+                self.set(*result, RtVal::P(self.img.va.with_tbi_tag(p, *ce)));
+                Ok(())
+            }
+            Inst::PpAuth { result, value, key } => {
+                let p = self.as_ptr(self.eval(value)?)?;
+                let ce = self.img.va.tbi_tag(p);
+                if ce == 0 {
+                    return Err(Trap::PpAuthFailure {
+                        func: self.cur_func_name(),
+                        reason: "pp_auth: missing CE tag (raw or corrupted pointer)".into(),
+                    });
+                }
+                let fe = *self.pp_table.get(&ce).ok_or_else(|| Trap::PpAuthFailure {
+                    func: self.cur_func_name(),
+                    reason: format!("pp_auth: CE {ce} not in metadata store"),
+                })?;
+                let untagged = self.img.va.clear_tbi(p);
+                match img.backend {
+                    Backend::PacInPointer => {
+                        match self.pac.auth(key_id(*key), untagged, fe) {
+                            Ok(clean) => {
+                                self.set(*result, RtVal::P(clean));
+                                Ok(())
+                            }
+                            Err(e) => Err(Trap::PacAuthFailure {
+                                func: self.cur_func_name(),
+                                line: self.cur_line(),
+                                site: PacSite::OnLoad,
+                                found_pac: e.found_pac,
+                                expected_pac: e.expected_pac,
+                            }),
+                        }
+                    }
+                    Backend::MacTable => {
+                        self.pac.auth_count += 1;
+                        let expected =
+                            self.pac.compute_pac(key_id(*key), untagged, fe);
+                        let ok = match (self.pending_mac.take(), self.last_ptr_load) {
+                            (Some(mac), _) => mac == expected,
+                            (None, Some(slot)) => {
+                                self.mac_table.get(&slot) == Some(&expected)
+                            }
+                            _ => false,
+                        };
+                        if ok {
+                            self.set(*result, RtVal::P(untagged));
+                            Ok(())
+                        } else {
+                            self.pac.fail_count += 1;
+                            Err(Trap::PacAuthFailure {
+                                func: self.cur_func_name(),
+                                line: self.cur_line(),
+                                site: PacSite::OnLoad,
+                                found_pac: 0,
+                                expected_pac: expected,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn binop(&self, op: BinOp, a: RtVal, b: RtVal, ty: TypeId) -> Result<RtVal, Trap> {
+        let m = &self.img.module;
+        if matches!(m.types.get(ty), Type::F64) {
+            let fa = match a {
+                RtVal::F(f) => f,
+                RtVal::I(i) => i as f64,
+                RtVal::P(_) => return Err(Trap::BadProgram("pointer in float op".into())),
+            };
+            let fb = match b {
+                RtVal::F(f) => f,
+                RtVal::I(i) => i as f64,
+                RtVal::P(_) => return Err(Trap::BadProgram("pointer in float op".into())),
+            };
+            let r = match op {
+                BinOp::Add => fa + fb,
+                BinOp::Sub => fa - fb,
+                BinOp::Mul => fa * fb,
+                BinOp::Div => fa / fb,
+                BinOp::Rem => fa % fb,
+                _ => return Err(Trap::BadProgram("bitwise op on float".into())),
+            };
+            return Ok(RtVal::F(r));
+        }
+        let ia = match a {
+            RtVal::I(i) => i,
+            RtVal::P(p) => p as i64,
+            RtVal::F(f) => f as i64,
+        };
+        let ib = match b {
+            RtVal::I(i) => i,
+            RtVal::P(p) => p as i64,
+            RtVal::F(f) => f as i64,
+        };
+        let r = match op {
+            BinOp::Add => ia.wrapping_add(ib),
+            BinOp::Sub => ia.wrapping_sub(ib),
+            BinOp::Mul => ia.wrapping_mul(ib),
+            BinOp::Div => {
+                if ib == 0 {
+                    return Err(Trap::DivByZero { func: self.cur_func_name() });
+                }
+                ia.wrapping_div(ib)
+            }
+            BinOp::Rem => {
+                if ib == 0 {
+                    return Err(Trap::DivByZero { func: self.cur_func_name() });
+                }
+                ia.wrapping_rem(ib)
+            }
+            BinOp::And => ia & ib,
+            BinOp::Or => ia | ib,
+            BinOp::Xor => ia ^ ib,
+            BinOp::Shl => ia.wrapping_shl(ib as u32 & 63),
+            BinOp::Shr => ia.wrapping_shr(ib as u32 & 63),
+        };
+        Ok(RtVal::I(wrap_int(m, ty, r)))
+    }
+
+    fn external_call(&mut self, name: &str, args: &[RtVal], ret: TypeId) -> Option<RtVal> {
+        let critical = CRITICAL_EXTERNALS.contains(&name);
+        self.events.push(ExtEvent {
+            name: name.to_string(),
+            args: args.iter().map(|a| a.to_string()).collect(),
+            critical,
+        });
+        let img = self.img;
+        let m = &img.module;
+        if ret == m.types.void() {
+            None
+        } else if m.types.is_ptr(ret) {
+            Some(RtVal::P(0))
+        } else if ret == m.types.f64() {
+            Some(RtVal::F(0.0))
+        } else {
+            Some(RtVal::I(0))
+        }
+    }
+}
+
+fn wrap_int(m: &Module, ty: TypeId, v: i64) -> i64 {
+    match m.types.get(ty) {
+        Type::Bool => (v != 0) as i64,
+        Type::I8 => v as i8 as i64,
+        Type::I16 => v as i16 as i64,
+        Type::I32 => v as i32 as i64,
+        _ => v,
+    }
+}
+
+fn cmp_vals(op: CmpOp, a: RtVal, b: RtVal) -> bool {
+    use std::cmp::Ordering;
+    let ord = match (a, b) {
+        (RtVal::F(x), RtVal::F(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Greater),
+        (RtVal::F(x), RtVal::I(y)) => {
+            x.partial_cmp(&(y as f64)).unwrap_or(Ordering::Greater)
+        }
+        (RtVal::I(x), RtVal::F(y)) => {
+            (x as f64).partial_cmp(&y).unwrap_or(Ordering::Greater)
+        }
+        (RtVal::P(x), RtVal::P(y)) => x.cmp(&y),
+        (RtVal::P(x), RtVal::I(y)) => x.cmp(&(y as u64)),
+        (RtVal::I(x), RtVal::P(y)) => (x as u64).cmp(&y),
+        (RtVal::I(x), RtVal::I(y)) => x.cmp(&y),
+        // Float/pointer comparisons cannot come from verified IR; order
+        // arbitrarily rather than panic.
+        (RtVal::F(_), RtVal::P(_)) | (RtVal::P(_), RtVal::F(_)) => Ordering::Greater,
+    };
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// The code address of a function.
+pub fn func_address(m: &Module, fid: FuncId) -> u64 {
+    let base = if m.funcs[fid.0 as usize].is_external {
+        layout::EXTERNAL_BASE
+    } else {
+        layout::CODE_BASE
+    };
+    base + fid.0 as u64 * layout::CODE_STRIDE
+}
+
+/// Resolves a canonical address back to a function, if it is one.
+/// Returns (id, is_external).
+pub fn resolve_code_addr(m: &Module, addr: u64) -> Option<(FuncId, bool)> {
+    for (base, external) in [(layout::CODE_BASE, false), (layout::EXTERNAL_BASE, true)] {
+        if addr >= base && addr < base + m.funcs.len() as u64 * layout::CODE_STRIDE {
+            let off = addr - base;
+            if off % layout::CODE_STRIDE != 0 {
+                return None;
+            }
+            let fid = FuncId((off / layout::CODE_STRIDE) as u32);
+            let f = &m.funcs[fid.0 as usize];
+            if f.is_external == external {
+                return Some((fid, external));
+            }
+            return None;
+        }
+    }
+    None
+}
+
+fn key_id(k: PacKey) -> KeyId {
+    match k {
+        PacKey::Ia => KeyId::Ia,
+        PacKey::Ib => KeyId::Ib,
+        PacKey::Da => KeyId::Da,
+        PacKey::Db => KeyId::Db,
+        PacKey::Ga => KeyId::Ga,
+    }
+}

@@ -1,0 +1,448 @@
+//! Parameterized MiniC kernels — the building blocks of the benchmark
+//! proxies.
+//!
+//! Each kernel is a family of MiniC functions exercising one execution
+//! character (pointer chasing, virtual dispatch, string walking, numeric
+//! array math, ...). A benchmark proxy composes kernels with weights that
+//! match the paper's characterization of the original program: the
+//! SPEC-style pointer-heavy outliers (perlbench, xalancbmk, povray,
+//! omnetpp) are dominated by pointer-dereference kernels, while the
+//! numeric codes (lbm, namd, nab, nbench) barely touch pointers — which is
+//! exactly what makes their RSTI overhead small.
+//!
+//! Kernels generate *source text* with a unique prefix so several kernels
+//! coexist in one translation unit.
+
+/// A generated kernel: declarations plus a call statement for `main`.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Top-level declarations (structs, globals, functions).
+    pub decls: String,
+    /// Statement(s) invoking the kernel from `main`.
+    pub call: String,
+}
+
+/// Linked-list build/reverse/sum — classic pointer chasing (mcf, omnetpp,
+/// perlbench inner loops).
+pub fn list_kernel(prefix: &str, nodes: u32, iters: u32) -> Kernel {
+    let decls = format!(
+        r#"
+struct {p}_node {{ long key; struct {p}_node* next; }};
+void {p}_push(struct {p}_node** headp, long key) {{
+    struct {p}_node* x = (struct {p}_node*) malloc(sizeof(struct {p}_node));
+    x->key = key;
+    x->next = *headp;
+    *headp = x;
+}}
+struct {p}_node* {p}_build(int n) {{
+    struct {p}_node* head = null;
+    for (int i = 0; i < n; i = i + 1) {{
+        {p}_push(&head, i);
+    }}
+    return head;
+}}
+struct {p}_node* {p}_reverse(struct {p}_node* head) {{
+    struct {p}_node* prev = null;
+    while (head != null) {{
+        struct {p}_node* nx = head->next;
+        head->next = prev;
+        prev = head;
+        head = nx;
+    }}
+    return prev;
+}}
+long {p}_sum(struct {p}_node* head) {{
+    long acc = 0;
+    while (head != null) {{
+        acc = acc + head->key;
+        head = head->next;
+    }}
+    return acc;
+}}
+long {p}_run(int nodes, int iters) {{
+    struct {p}_node* head = {p}_build(nodes);
+    long acc = 0;
+    for (int i = 0; i < iters; i = i + 1) {{
+        head = {p}_reverse(head);
+        acc = acc + {p}_sum(head);
+    }}
+    return acc;
+}}
+"#,
+        p = prefix
+    );
+    let call = format!("g_check = g_check + {prefix}_run({nodes}, {iters});\n");
+    Kernel { decls, call }
+}
+
+/// Indirect dispatch through function-pointer tables — virtual calls
+/// (xalancbmk, omnetpp, perlbench op dispatch).
+pub fn dispatch_kernel(prefix: &str, objects: u32, iters: u32) -> Kernel {
+    let decls = format!(
+        r#"
+struct {p}_obj {{ long state; long (*step)(struct {p}_obj* o); }};
+long {p}_inc(struct {p}_obj* o) {{ o->state = o->state + 1; return o->state; }}
+long {p}_dec(struct {p}_obj* o) {{ o->state = o->state - 1; return o->state; }}
+long {p}_dbl(struct {p}_obj* o) {{ o->state = o->state * 2; return o->state; }}
+long {p}_run(int n, int iters) {{
+    struct {p}_obj* objs = (struct {p}_obj*) malloc(n * sizeof(struct {p}_obj));
+    for (int i = 0; i < n; i = i + 1) {{
+        struct {p}_obj* o = objs + i;
+        o->state = i;
+        if (i % 3 == 0) {{ o->step = {p}_inc; }}
+        else {{ if (i % 3 == 1) {{ o->step = {p}_dec; }} else {{ o->step = {p}_dbl; }} }}
+    }}
+    long acc = 0;
+    for (int it = 0; it < iters; it = it + 1) {{
+        for (int i = 0; i < n; i = i + 1) {{
+            struct {p}_obj* o = objs + i;
+            void* raw = (void*) o;
+            struct {p}_obj* oo = (struct {p}_obj*) raw;
+            acc = acc + oo->step(oo);
+            if (oo->state > 1000) {{ oo->state = i; }}
+        }}
+    }}
+    return acc;
+}}
+"#,
+        p = prefix
+    );
+    let call = format!("g_check = g_check + {prefix}_run({objects}, {iters});\n");
+    Kernel { decls, call }
+}
+
+/// Character-buffer walking and copying (perlbench string ops, h264ref
+/// bitstreams, xz/bzip2 buffers).
+pub fn string_kernel(prefix: &str, len: u32, iters: u32) -> Kernel {
+    let decls = format!(
+        r#"
+long {p}_run(int len, int iters) {{
+    char* src = (char*) malloc(len);
+    char* dst = (char*) malloc(len);
+    for (int i = 0; i < len; i = i + 1) {{ src[i] = (char) (i % 26 + 97); }}
+    long acc = 0;
+    for (int it = 0; it < iters; it = it + 1) {{
+        char* s = src;
+        char* d = dst;
+        for (int i = 0; i < len; i = i + 1) {{
+            *d = *s;
+            acc = acc + *d;
+            s = s + 1;
+            d = d + 1;
+        }}
+    }}
+    return acc;
+}}
+"#,
+        p = prefix
+    );
+    let call = format!("g_check = g_check + {prefix}_run({len}, {iters});\n");
+    Kernel { decls, call }
+}
+
+/// Integer array arithmetic with **no pointer variables in the hot loop**
+/// beyond the array itself (libquantum, sjeng eval, nbench numeric sort).
+pub fn numeric_kernel(prefix: &str, n: u32, iters: u32) -> Kernel {
+    let decls = format!(
+        r#"
+long {p}_run(int n, int iters) {{
+    long acc = 0;
+    for (int it = 0; it < iters; it = it + 1) {{
+        long x = it + 1;
+        for (int i = 0; i < n; i = i + 1) {{
+            x = (x * 1103515245 + 12345) % 2147483647;
+            acc = acc + (x & 255) - ((x >> 8) & 127);
+            if (acc > 100000000) {{ acc = acc % 9973; }}
+        }}
+    }}
+    return acc;
+}}
+"#,
+        p = prefix
+    );
+    let call = format!("g_check = g_check + {prefix}_run({n}, {iters});\n");
+    Kernel { decls, call }
+}
+
+/// Double-precision stencil (lbm, namd, nab, imagick, milc, nbench
+/// fourier/neural-net).
+pub fn float_kernel(prefix: &str, n: u32, iters: u32) -> Kernel {
+    let decls = format!(
+        r#"
+long {p}_run(int n, int iters) {{
+    double acc = 0.5;
+    for (int it = 0; it < iters; it = it + 1) {{
+        double x = 1.5;
+        for (int i = 0; i < n; i = i + 1) {{
+            x = x * 1.000001 + 0.000003;
+            acc = acc + x / (x + 2.0);
+            acc = acc - (acc / 1000.0);
+        }}
+    }}
+    return (long) acc;
+}}
+"#,
+        p = prefix
+    );
+    let call = format!("g_check = g_check + {prefix}_run({n}, {iters});\n");
+    Kernel { decls, call }
+}
+
+/// Graph arc relaxation over index arrays + node pointers (mcf, astar).
+pub fn graph_kernel(prefix: &str, nodes: u32, iters: u32) -> Kernel {
+    let decls = format!(
+        r#"
+struct {p}_gnode {{ long dist; struct {p}_gnode* pred; }};
+long {p}_run(int n, int iters) {{
+    struct {p}_gnode* nodes = (struct {p}_gnode*) malloc(n * sizeof(struct {p}_gnode));
+    for (int i = 0; i < n; i = i + 1) {{
+        struct {p}_gnode* v = nodes + i;
+        v->dist = 1000000;
+        v->pred = null;
+    }}
+    struct {p}_gnode* root = nodes;
+    root->dist = 0;
+    long relaxed = 0;
+    for (int it = 0; it < iters; it = it + 1) {{
+        for (int i = 1; i < n; i = i + 1) {{
+            struct {p}_gnode* v = nodes + i;
+            struct {p}_gnode* u = nodes + (i - 1);
+            struct {p}_gnode* w = nodes + (i * 7 % n);
+            if (u->dist + i < v->dist) {{
+                v->dist = u->dist + i;
+                v->pred = u;
+                relaxed = relaxed + 1;
+            }}
+            if (w->dist + 2 < v->dist) {{
+                v->dist = w->dist + 2;
+                v->pred = w;
+                relaxed = relaxed + 1;
+            }}
+        }}
+    }}
+    return relaxed;
+}}
+"#,
+        p = prefix
+    );
+    let call = format!("g_check = g_check + {prefix}_run({nodes}, {iters});\n");
+    Kernel { decls, call }
+}
+
+/// Event-driven server loop: connection objects with handler pointers and
+/// buffer chains (the NGINX proxy).
+pub fn server_kernel(prefix: &str, conns: u32, iters: u32) -> Kernel {
+    let decls = format!(
+        r#"
+struct {p}_buf {{ long len; char* data; struct {p}_buf* next; }};
+struct {p}_conn {{
+    long fd;
+    long (*read_handler)(struct {p}_conn* c);
+    long (*write_handler)(struct {p}_conn* c);
+    struct {p}_buf* chain;
+}};
+long {p}_do_read(struct {p}_conn* c) {{
+    struct {p}_buf* b = (struct {p}_buf*) malloc(sizeof(struct {p}_buf));
+    b->len = 16;
+    b->data = (char*) malloc(16);
+    b->next = c->chain;
+    c->chain = b;
+    return b->len;
+}}
+long {p}_do_write(struct {p}_conn* c) {{
+    long sent = 0;
+    struct {p}_buf* b = c->chain;
+    while (b != null) {{
+        sent = sent + b->len;
+        b = b->next;
+    }}
+    c->chain = null;
+    return sent;
+}}
+long {p}_run(int n, int iters) {{
+    struct {p}_conn* conns = (struct {p}_conn*) malloc(n * sizeof(struct {p}_conn));
+    for (int i = 0; i < n; i = i + 1) {{
+        struct {p}_conn* c = conns + i;
+        c->fd = i;
+        c->read_handler = {p}_do_read;
+        c->write_handler = {p}_do_write;
+        c->chain = null;
+    }}
+    long acc = 0;
+    for (int it = 0; it < iters; it = it + 1) {{
+        for (int i = 0; i < n; i = i + 1) {{
+            struct {p}_conn* c = conns + i;
+            acc = acc + c->read_handler(c);
+            if (it % 2 == 1) {{ acc = acc + c->write_handler(c); }}
+        }}
+    }}
+    return acc;
+}}
+"#,
+        p = prefix
+    );
+    let call = format!("g_check = g_check + {prefix}_run({conns}, {iters});\n");
+    Kernel { decls, call }
+}
+
+/// Bytecode-interpreter loop over refcounted objects (the CPython proxy).
+pub fn interp_kernel(prefix: &str, code_len: u32, iters: u32) -> Kernel {
+    let decls = format!(
+        r#"
+struct {p}_pyobj {{ long refcnt; long value; struct {p}_pyobj* next; }};
+long {p}_probe(void** slot) {{
+    if (*slot == null) {{ return 1; }}
+    return 0;
+}}
+struct {p}_pyobj* {p}_new(long v, struct {p}_pyobj* pool) {{
+    struct {p}_pyobj* o = (struct {p}_pyobj*) malloc(sizeof(struct {p}_pyobj));
+    o->refcnt = 1;
+    o->value = v;
+    o->next = pool;
+    return o;
+}}
+long {p}_run(int code_len, int iters) {{
+    int* code = (int*) malloc(code_len * 4);
+    for (int i = 0; i < code_len; i = i + 1) {{ code[i] = i % 5; }}
+    struct {p}_pyobj* pool = null;
+    long acc = {p}_probe((void**) &pool);
+    for (int it = 0; it < iters; it = it + 1) {{
+        struct {p}_pyobj* tos = {p}_new(it, pool);
+        pool = tos;
+        for (int pc = 0; pc < code_len; pc = pc + 1) {{
+            int op = code[pc];
+            if (op == 0) {{
+                void* praw = (void*) tos;
+                struct {p}_pyobj* pv = (struct {p}_pyobj*) praw;
+                pv->value = pv->value + 1;
+            }}
+            else {{ if (op == 1) {{ tos->refcnt = tos->refcnt + 1; }}
+            else {{ if (op == 2) {{ acc = acc + tos->value; }}
+            else {{ if (op == 3) {{
+                struct {p}_pyobj* o = {p}_new(acc, pool);
+                pool = o;
+                tos = o;
+            }} else {{ tos->refcnt = tos->refcnt - 1; }} }} }} }}
+        }}
+    }}
+    return acc;
+}}
+"#,
+        p = prefix
+    );
+    let call = format!("g_check = g_check + {prefix}_run({code_len}, {iters});\n");
+    Kernel { decls, call }
+}
+
+/// Binary-tree build and traversal (gobmk/deepsjeng/leela search trees,
+/// dealII meshes).
+pub fn tree_kernel(prefix: &str, inserts: u32, iters: u32) -> Kernel {
+    let decls = format!(
+        r#"
+struct {p}_tnode {{ long key; struct {p}_tnode* left; struct {p}_tnode* right; }};
+struct {p}_tnode* {p}_insert(struct {p}_tnode* root, long key) {{
+    if (root == null) {{
+        struct {p}_tnode* x = (struct {p}_tnode*) malloc(sizeof(struct {p}_tnode));
+        x->key = key;
+        x->left = null;
+        x->right = null;
+        return x;
+    }}
+    if (key < root->key) {{ root->left = {p}_insert(root->left, key); }}
+    else {{ root->right = {p}_insert(root->right, key); }}
+    return root;
+}}
+long {p}_sum(struct {p}_tnode* root) {{
+    if (root == null) {{ return 0; }}
+    return root->key + {p}_sum(root->left) + {p}_sum(root->right);
+}}
+long {p}_run(int inserts, int iters) {{
+    struct {p}_tnode* root = null;
+    long seed = 12345;
+    for (int i = 0; i < inserts; i = i + 1) {{
+        seed = (seed * 1103515245 + 12345) % 2147483647;
+        root = {p}_insert(root, seed % 1000);
+    }}
+    long acc = 0;
+    for (int it = 0; it < iters; it = it + 1) {{ acc = acc + {p}_sum(root); }}
+    return acc;
+}}
+"#,
+        p = prefix
+    );
+    let call = format!("g_check = g_check + {prefix}_run({inserts}, {iters});\n");
+    Kernel { decls, call }
+}
+
+/// Assembles kernels into a complete MiniC program.
+pub fn assemble(kernels: &[Kernel]) -> String {
+    let mut src = String::from("long g_check;\n");
+    for k in kernels {
+        src.push_str(&k.decls);
+    }
+    src.push_str("int main() {\n    g_check = 0;\n");
+    for k in kernels {
+        src.push_str("    ");
+        src.push_str(&k.call);
+    }
+    src.push_str("    print_int(g_check);\n    return 0;\n}\n");
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsti_frontend::compile;
+    use rsti_vm::{Image, Status, Vm};
+
+    fn runs(kernels: &[Kernel]) -> i64 {
+        let src = assemble(kernels);
+        let m = compile(&src, "k").unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let img = Image::baseline(&m);
+        let r = Vm::new(&img).run();
+        match r.status {
+            Status::Exited(c) => {
+                assert_eq!(c, 0);
+                r.output[0].parse().unwrap()
+            }
+            other => panic!("{other:?}\n{src}"),
+        }
+    }
+
+    #[test]
+    fn every_kernel_compiles_and_runs() {
+        assert!(runs(&[list_kernel("l", 20, 3)]) > 0);
+        assert!(runs(&[dispatch_kernel("d", 9, 3)]) != 0);
+        assert!(runs(&[string_kernel("s", 32, 2)]) > 0);
+        assert!(runs(&[numeric_kernel("n", 50, 2)]) != 0);
+        assert!(runs(&[float_kernel("f", 50, 2)]) != 0);
+        assert!(runs(&[graph_kernel("g", 16, 2)]) > 0);
+        assert!(runs(&[server_kernel("v", 4, 4)]) > 0);
+        assert!(runs(&[interp_kernel("i", 16, 4)]) != 0);
+        assert!(runs(&[tree_kernel("t", 24, 2)]) > 0);
+    }
+
+    #[test]
+    fn kernels_compose_into_one_program() {
+        let v = runs(&[
+            list_kernel("a", 10, 2),
+            numeric_kernel("b", 20, 2),
+            dispatch_kernel("c", 6, 2),
+        ]);
+        assert!(v != 0);
+    }
+
+    #[test]
+    fn kernels_run_instrumented_with_same_result() {
+        let src = assemble(&[list_kernel("l", 15, 2), dispatch_kernel("d", 6, 2)]);
+        let m = compile(&src, "k").unwrap();
+        let base = Vm::new(&Image::baseline(&m)).run();
+        for mech in rsti_core::Mechanism::ALL {
+            let p = rsti_core::instrument(&m, mech);
+            let img = Image::from_instrumented(&p);
+            let r = Vm::new(&img).run();
+            assert_eq!(r.status, base.status, "{mech}");
+            assert_eq!(r.output, base.output, "{mech} must compute the same result");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Data-oriented attack on a web server — the paper's Figure 2 (GHTTPD).
+//!
+//! The server rejects requests containing `/..` before handling CGI. The
+//! attacker corrupts the data pointer `ptr` between the validation check
+//! and the use, swapping in a pointer to a *different*, attacker-staged
+//! request buffer — classic double-fetch/data-oriented flow. No code
+//! pointer is touched.
+//!
+//! Under RSTI the two buffers' pointers live in different RSTI-types
+//! (different scope), so the substituted pointer fails authentication.
+//!
+//! Run with: `cargo run --example webserver_dataflow`
+
+use rsti_core::Mechanism;
+use rsti_vm::{Image, RunStop, Status, Vm};
+
+const SERVER: &str = r#"
+    extern void exec_cgi(char* path);
+
+    char* request;        // the validated request (scope: serveconnection)
+    char* upload_buf;     // attacker-controlled upload area (scope: recv_upload)
+
+    int contains_dotdot(char* s) {
+        // toy strstr(s, "/..")
+        int i = 0;
+        while (s[i] != '\0') {
+            if (s[i] == '/' && s[i + 1] == '.' && s[i + 2] == '.') { return 1; }
+            i = i + 1;
+        }
+        return 0;
+    }
+
+    void recv_upload() {
+        upload_buf = (char*) malloc(64);
+        // the attacker's staged path lives here
+        upload_buf[0] = '/';
+        upload_buf[1] = '.';
+        upload_buf[2] = '.';
+        upload_buf[3] = '/';
+        upload_buf[4] = 's';
+        upload_buf[5] = 'h';
+        upload_buf[6] = '\0';
+    }
+
+    void handle_cgi() {
+        exec_cgi(request);
+    }
+
+    int serveconnection() {
+        request = (char*) malloc(64);
+        request[0] = 'c';
+        request[1] = 'g';
+        request[2] = 'i';
+        request[3] = '\0';
+        if (contains_dotdot(request)) { return 403; }
+        // ... the overflow in log() happens here (paper Figure 2) ...
+        handle_cgi();
+        return 200;
+    }
+
+    int main() {
+        recv_upload();
+        int code = serveconnection();
+        print_int(code);
+        return 0;
+    }
+"#;
+
+fn attack(img: &Image) -> rsti_vm::ExecResult {
+    let mut vm = Vm::new(img);
+    // Pause after validation, before the use: at handle_cgi entry.
+    assert_eq!(vm.run_to_function("handle_cgi"), RunStop::Entered);
+    // Corrupt `request` by replaying the signed upload_buf pointer —
+    // both are char*, but their scopes differ.
+    let src = vm.global_addr("upload_buf").unwrap();
+    let dst = vm.global_addr("request").unwrap();
+    let bytes = vm.attacker_read(src, 8).unwrap();
+    vm.attacker_write(dst, &bytes).unwrap();
+    vm.finish()
+}
+
+fn main() {
+    let module = rsti_frontend::compile(SERVER, "ghttpd").expect("compiles");
+
+    // Unprotected: the CGI handler executes the attacker's ../sh path.
+    let base = Image::baseline(&module);
+    let r = attack(&base);
+    let cgi = r.events.iter().find(|e| e.name == "exec_cgi").expect("cgi ran");
+    println!("unprotected: exec_cgi({:?}) — check bypassed, attack succeeded", cgi.args);
+    assert!(matches!(r.status, Status::Exited(_)));
+
+    // Under each RSTI mechanism the substitution is detected.
+    for mech in [Mechanism::Stc, Mechanism::Stwc, Mechanism::Stl] {
+        let prog = rsti_core::instrument(&module, mech);
+        let img = Image::from_instrumented(&prog);
+        let r = attack(&img);
+        match &r.status {
+            Status::Trapped(t) if t.is_detection() => {
+                println!("{mech}: detected — {t}");
+            }
+            other => panic!("{mech}: expected detection, got {other:?}"),
+        }
+        assert!(r.events.iter().all(|e| e.name != "exec_cgi"), "payload must not run");
+    }
+
+    // PARTS (type-only modifier) cannot tell the two char* apart.
+    let prog = rsti_core::instrument(&module, Mechanism::Parts);
+    let img = Image::from_instrumented(&prog);
+    let r = attack(&img);
+    assert!(
+        r.events.iter().any(|e| e.name == "exec_cgi"),
+        "PARTS misses the same-type substitution: {:?}",
+        r.status
+    );
+    println!("PARTS: MISSED — same basic type, scope ignored (paper §6.1.2)");
+}
