@@ -5,96 +5,77 @@
 //! * PAC width: TBI (8-bit PAC) vs no-TBI (16-bit PAC) sign/auth cost;
 //! * QARMA round count (security margin vs latency).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsti_bench::timing::{bench, bench_with_target};
 use rsti_pac::{KeyId, PacKeys, PacUnit, Qarma64, VaConfig};
 use std::hint::black_box;
+use std::time::Duration;
 
-fn bench_analysis_scope(c: &mut Criterion) {
+fn main() {
+    // Analysis scope.
     let w = rsti_workloads::spec2006()
         .into_iter()
         .find(|w| w.name == "xalancbmk")
         .unwrap();
     let m = w.module();
-    let mut group = c.benchmark_group("ablation/analysis-scope");
-    group.bench_function("whole-program", |b| {
-        b.iter(|| rsti_core::collect_facts(black_box(&m)))
+    bench("ablation/analysis-scope/whole-program", || {
+        rsti_core::collect_facts(black_box(&m))
     });
     // Per-unit analysis: re-analyzing the module once per function, as a
     // non-LTO pipeline would (each object file sees only its own slice —
     // we model the repeated work, which is what LTO avoids).
-    group.sample_size(10);
-    group.bench_function("per-unit-equivalent", |b| {
-        b.iter(|| {
+    bench_with_target(
+        "ablation/analysis-scope/per-unit-equivalent",
+        Duration::from_millis(500),
+        || {
             for _ in 0..m.funcs.len().min(8) {
                 rsti_core::collect_facts(black_box(&m));
             }
-        })
-    });
-    group.finish();
-}
+        },
+    );
 
-fn bench_pac_width(c: &mut Criterion) {
+    // PAC width.
     let keys = PacKeys::test_keys();
-    let mut group = c.benchmark_group("ablation/pac-width");
-    for (label, cfg) in [("tbi-8bit", VaConfig::paper_default()), ("no-tbi-16bit", VaConfig::no_tbi())] {
+    for (label, cfg) in
+        [("tbi-8bit", VaConfig::paper_default()), ("no-tbi-16bit", VaConfig::no_tbi())]
+    {
         let mut unit = PacUnit::new(&keys, cfg);
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| {
-                let s = unit.sign(KeyId::Da, black_box(0x7F00_0000_2000), 9);
-                unit.auth(KeyId::Da, s, 9).unwrap()
-            })
+        bench(&format!("ablation/pac-width/{label}"), || {
+            let s = unit.sign(KeyId::Da, black_box(0x7F00_0000_2000), 9);
+            unit.auth(KeyId::Da, s, 9).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_qarma_rounds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/qarma-rounds");
+    // QARMA round count.
     for rounds in [4usize, 5, 6, 7] {
         let q = Qarma64::with_rounds(0xAABB_CCDD_EEFF_0011_2233_4455_6677_8899, rounds);
-        group.bench_function(BenchmarkId::from_parameter(rounds), |b| {
-            b.iter(|| q.encrypt(black_box(0x7F00_0000_3000), black_box(1)))
+        bench(&format!("ablation/qarma-rounds/{rounds}"), || {
+            q.encrypt(black_box(0x7F00_0000_3000), black_box(1))
         });
     }
-    group.finish();
-}
 
-fn bench_auth_elision(c: &mut Criterion) {
-    use rsti_vm::{Image, Status, Vm};
-    let w = rsti_workloads::spec2006()
-        .into_iter()
-        .find(|w| w.name == "perlbench")
-        .unwrap();
-    let m = w.module();
-    let mut group = c.benchmark_group("ablation/auth-elision");
-    group.sample_size(10);
-    let plain = Image::from_instrumented(&rsti_core::instrument(&m, rsti_core::Mechanism::Stwc));
-    group.bench_function("stwc-naive", |b| {
-        b.iter(|| {
+    // Auth elision.
+    {
+        use rsti_vm::{Image, Status, Vm};
+        let w = rsti_workloads::spec2006()
+            .into_iter()
+            .find(|w| w.name == "perlbench")
+            .unwrap();
+        let m = w.module();
+        let plain =
+            Image::from_instrumented(&rsti_core::instrument(&m, rsti_core::Mechanism::Stwc));
+        bench_with_target("ablation/auth-elision/stwc-naive", Duration::from_millis(500), || {
             let r = Vm::new(&plain).run();
             assert!(matches!(r.status, Status::Exited(0)));
             r.cycles
-        })
-    });
-    let mut optp = rsti_core::instrument(&m, rsti_core::Mechanism::Stwc);
-    let elided = rsti_core::optimize_program(&mut optp);
-    assert!(elided > 0);
-    let opt = Image::from_instrumented(&optp);
-    group.bench_function("stwc-elided", |b| {
-        b.iter(|| {
+        });
+        let mut optp = rsti_core::instrument(&m, rsti_core::Mechanism::Stwc);
+        let elided = rsti_core::optimize_program(&mut optp);
+        assert!(elided > 0);
+        let opt = Image::from_instrumented(&optp);
+        bench_with_target("ablation/auth-elision/stwc-elided", Duration::from_millis(500), || {
             let r = Vm::new(&opt).run();
             assert!(matches!(r.status, Status::Exited(0)));
             r.cycles
-        })
-    });
-    group.finish();
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_analysis_scope,
-    bench_pac_width,
-    bench_qarma_rounds,
-    bench_auth_elision
-);
-criterion_main!(benches);

@@ -1,12 +1,13 @@
-//! Wall-clock VM overhead on representative workloads — the Criterion
+//! Wall-clock VM overhead on representative workloads — the wall-clock
 //! companion to the cycle-model Figure 9 (`cargo run -p rsti-bench --bin
 //! fig9`). One group per benchmark; baseline vs each mechanism.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsti_bench::timing::bench_with_target;
 use rsti_core::Mechanism;
 use rsti_vm::{Image, Status, Vm};
+use std::time::Duration;
 
-fn bench_workloads(c: &mut Criterion) {
+fn main() {
     let names = ["perlbench", "mcf", "lbm", "xalancbmk"];
     for name in names {
         let w = rsti_workloads::spec2006()
@@ -14,29 +15,23 @@ fn bench_workloads(c: &mut Criterion) {
             .find(|w| w.name == name)
             .unwrap();
         let m = w.module();
-        let mut group = c.benchmark_group(format!("fig9/{name}"));
-        group.sample_size(10);
         let base_img = Image::baseline(&m);
-        group.bench_function(BenchmarkId::from_parameter("baseline"), |b| {
-            b.iter(|| {
-                let r = Vm::new(&base_img).run();
-                assert!(matches!(r.status, Status::Exited(0)));
-                r.cycles
-            })
+        bench_with_target(&format!("fig9/{name}/baseline"), Duration::from_millis(500), || {
+            let r = Vm::new(&base_img).run();
+            assert!(matches!(r.status, Status::Exited(0)));
+            r.cycles
         });
         for mech in [Mechanism::Stwc, Mechanism::Stc, Mechanism::Stl] {
             let img = Image::from_instrumented(&rsti_core::instrument(&m, mech));
-            group.bench_function(BenchmarkId::from_parameter(mech.name()), |b| {
-                b.iter(|| {
+            bench_with_target(
+                &format!("fig9/{name}/{}", mech.name()),
+                Duration::from_millis(500),
+                || {
                     let r = Vm::new(&img).run();
                     assert!(matches!(r.status, Status::Exited(0)));
                     r.cycles
-                })
-            });
+                },
+            );
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_workloads);
-criterion_main!(benches);

@@ -1,34 +1,21 @@
 //! Microbenchmarks of the PA primitive (the Figure 3 data path): QARMA
 //! encryption, pointer signing, and authentication.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rsti_bench::timing::bench;
 use rsti_pac::{KeyId, PacUnit, Qarma64};
 use std::hint::black_box;
 
-fn bench_qarma(c: &mut Criterion) {
+fn main() {
     let q = Qarma64::new(0x0123_4567_89AB_CDEF_0011_2233_4455_6677);
-    c.bench_function("qarma64_encrypt", |b| {
-        b.iter(|| q.encrypt(black_box(0x7F00_0000_1234), black_box(0xBEEF)))
+    bench("qarma64_encrypt", || q.encrypt(black_box(0x7F00_0000_1234), black_box(0xBEEF)));
+    bench("qarma64_roundtrip", || {
+        let e = q.encrypt(black_box(0x7F00_0000_1234), 7);
+        q.decrypt(e, 7)
     });
-    c.bench_function("qarma64_roundtrip", |b| {
-        b.iter(|| {
-            let e = q.encrypt(black_box(0x7F00_0000_1234), 7);
-            q.decrypt(e, 7)
-        })
-    });
-}
 
-fn bench_pac_unit(c: &mut Criterion) {
     let mut u = PacUnit::for_tests();
-    c.bench_function("pac_sign", |b| {
-        b.iter(|| u.sign(KeyId::Da, black_box(0x7F00_0000_1040), black_box(0x42)))
-    });
+    bench("pac_sign", || u.sign(KeyId::Da, black_box(0x7F00_0000_1040), black_box(0x42)));
     let mut u2 = PacUnit::for_tests();
     let signed = u2.sign(KeyId::Da, 0x7F00_0000_1040, 0x42);
-    c.bench_function("pac_auth_ok", |b| {
-        b.iter(|| u2.auth(KeyId::Da, black_box(signed), black_box(0x42)).unwrap())
-    });
+    bench("pac_auth_ok", || u2.auth(KeyId::Da, black_box(signed), black_box(0x42)).unwrap());
 }
-
-criterion_group!(benches, bench_qarma, bench_pac_unit);
-criterion_main!(benches);

@@ -1,29 +1,22 @@
 //! Compiler-pipeline throughput: MiniC parse+lower, STI analysis, and the
 //! instrumentation pass (the paper's §5 compile-time component).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rsti_bench::timing::bench;
 use rsti_core::Mechanism;
 use std::hint::black_box;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let w = rsti_workloads::spec2006()
         .into_iter()
         .find(|w| w.name == "perlbench")
         .unwrap();
     let src = w.source.clone();
-    c.bench_function("compile_perlbench_proxy", |b| {
-        b.iter(|| rsti_frontend::compile(black_box(&src), "p").unwrap())
-    });
+    bench("compile_perlbench_proxy", || rsti_frontend::compile(black_box(&src), "p").unwrap());
     let m = w.module();
-    c.bench_function("analyze_stwc", |b| {
-        b.iter(|| rsti_core::analyze(black_box(&m), Mechanism::Stwc))
-    });
+    bench("analyze_stwc", || rsti_core::analyze(black_box(&m), Mechanism::Stwc));
     for mech in Mechanism::ALL {
-        c.bench_function(&format!("instrument_{}", mech.name()), |b| {
-            b.iter(|| rsti_core::instrument(black_box(&m), mech))
+        bench(&format!("instrument_{}", mech.name()), || {
+            rsti_core::instrument(black_box(&m), mech)
         });
     }
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Regenerates Figure 10: overhead distributions (box-plot statistics).
 
 fn main() {
-    let fig9 = rsti_bench::Fig9::measure();
+    let fig9 = rsti_bench::Fig9::measure().expect("every proxy runs cleanly");
     print!("{}", rsti_bench::render_fig10(&fig9));
 }

@@ -1,6 +1,6 @@
 //! Regenerates Figure 9: per-benchmark overhead and suite geomeans.
 
 fn main() {
-    let fig9 = rsti_bench::Fig9::measure();
+    let fig9 = rsti_bench::Fig9::measure().expect("every proxy runs cleanly");
     print!("{}", fig9.render());
 }

@@ -25,7 +25,7 @@ fn main() {
     write("pp_census.txt", rsti_bench::render_pp_census());
 
     // Performance figures.
-    let fig9 = rsti_bench::Fig9::measure();
+    let fig9 = rsti_bench::Fig9::measure().expect("every proxy runs cleanly");
     write("fig9.txt", fig9.render());
     write("fig10.txt", rsti_bench::render_fig10(&fig9));
     write("parts_compare.txt", rsti_bench::render_parts_compare());

@@ -1,0 +1,89 @@
+//! Interpreter throughput tracker: measures instructions/second and
+//! cycle-model totals over a fixed workload mix and records them to
+//! `BENCH_vm.json`, so the repo carries a machine-readable perf trajectory
+//! across PRs.
+//!
+//! The mix is the nbench + NGINX proxies — the suites the Fig. 9/10
+//! pipeline sweeps 4-5× per workload — executed both uninstrumented and
+//! under RSTI-STWC. Cycle totals are deterministic (the cycle model);
+//! instructions/second is wall-clock and machine-dependent, which is fine
+//! for a trajectory: the recorded pre/post pair in one run comes from the
+//! same machine.
+
+use rsti_core::Mechanism;
+use rsti_vm::{Image, Status, Vm};
+use std::time::Instant;
+
+/// Interpreter instructions/second measured on this codebase *before* the
+/// zero-clone hot-loop rework (per-step `Inst`/`Term` clones, `Vec<u8>`
+/// per store, per-frame `HashMap` alloca cache, per-run module deep
+/// clone), on the same reference machine that produced the first
+/// `BENCH_vm.json`. Kept as the fixed comparison point for the >= 2x
+/// acceptance bar; see BENCH_vm.json for the trajectory.
+const PRE_CHANGE_INSTS_PER_SEC: f64 = 23_351_000.0;
+
+struct MixResult {
+    insts: u64,
+    cycles: u64,
+    secs: f64,
+}
+
+fn run_mix(repeats: u32) -> MixResult {
+    let mut insts = 0u64;
+    let mut cycles = 0u64;
+    let mut secs = 0f64;
+    let ws: Vec<_> = rsti_workloads::nbench().into_iter().chain(rsti_workloads::nginx()).collect();
+    for w in &ws {
+        let mut m = w.module();
+        rsti_core::inline_leaf_functions(&mut m, 96);
+        let mut mb = m.clone();
+        rsti_core::optimize_baseline(&mut mb);
+        let base_img = Image::baseline_owned(mb);
+        let mut p = rsti_core::instrument(&m, Mechanism::Stwc);
+        rsti_core::optimize_program(&mut p);
+        let stwc_img = Image::from_instrumented_owned(p);
+        for img in [&base_img, &stwc_img] {
+            for _ in 0..repeats {
+                let t = Instant::now();
+                let mut vm = Vm::new(img);
+                vm.set_fuel(200_000_000);
+                let r = vm.run();
+                secs += t.elapsed().as_secs_f64();
+                assert!(
+                    matches!(r.status, Status::Exited(0)),
+                    "{}: {:?}",
+                    w.name,
+                    r.status
+                );
+                insts += r.insts;
+                cycles += r.cycles;
+            }
+        }
+    }
+    MixResult { insts, cycles, secs }
+}
+
+fn main() {
+    // Warm up caches/allocator, then measure.
+    run_mix(1);
+    let m = run_mix(3);
+    let ips = m.insts as f64 / m.secs;
+    let speedup = ips / PRE_CHANGE_INSTS_PER_SEC;
+    println!("vm_throughput: nbench + NGINX mix, baseline + STWC");
+    println!("  instructions executed : {}", m.insts);
+    println!("  wall time             : {:.3} s", m.secs);
+    println!("  instructions/second   : {:.0}", ips);
+    println!("  cycle-model total     : {}", m.cycles);
+    println!("  pre-change insts/sec  : {:.0}  (x{:.2})", PRE_CHANGE_INSTS_PER_SEC, speedup);
+
+    // Hand-rolled JSON (the workspace is dependency-free by design).
+    let json = format!(
+        "{{\n  \"bench\": \"vm_throughput\",\n  \"workload_mix\": \"nbench+nginx, baseline+stwc\",\n  \
+         \"pre_change_insts_per_sec\": {PRE_CHANGE_INSTS_PER_SEC:.0},\n  \
+         \"insts_per_sec\": {ips:.0},\n  \"speedup_vs_pre_change\": {speedup:.3},\n  \
+         \"instructions\": {},\n  \"cycle_model_total\": {},\n  \"wall_seconds\": {:.4}\n}}\n",
+        m.insts, m.cycles, m.secs
+    );
+    std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
+    println!("wrote BENCH_vm.json");
+}

@@ -11,12 +11,18 @@
 //! | §6.2.2 (pointer-to-pointer census) | `pp_census` | [`reports::render_pp_census`] |
 //! | §6.3.2 (PARTS comparison) | `parts_compare` | [`reports::render_parts_compare`] |
 //!
-//! Criterion wall-clock benches live under `benches/`.
+//! Wall-clock benches (plain timing harness, [`timing`]) live under
+//! `benches/`; the `vm_throughput` binary records the interpreter's
+//! instructions/second trajectory to `BENCH_vm.json`.
 
 #![warn(missing_docs)]
 
 pub mod overhead;
 pub mod reports;
+pub mod timing;
 
-pub use overhead::{box_stats, geomean_pct, measure, measure_suite, pearson, BoxStats, OverheadRow, MECHS};
+pub use overhead::{
+    bench_threads, box_stats, geomean_pct, measure, measure_suite, measure_suite_with_threads,
+    pearson, BoxStats, MeasureError, OverheadRow, MECHS,
+};
 pub use reports::{render_fig10, render_parts_compare, render_pp_census, render_table3, Fig9};

@@ -9,12 +9,37 @@
 use rsti_core::Mechanism;
 use rsti_vm::{Image, Status, Vm};
 use rsti_workloads::{Suite, Workload};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Mechanisms in report column order.
 pub const MECHS: [Mechanism; 3] = [Mechanism::Stwc, Mechanism::Stc, Mechanism::Stl];
 
+/// A workload run that did not exit cleanly — the measurement is
+/// meaningless, so the whole sweep reports which benchmark failed and how
+/// instead of asserting deep inside the VM loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasureError {
+    /// Name of the failing benchmark.
+    pub workload: String,
+    /// How the run ended (a trap, or a non-zero exit).
+    pub status: Status,
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload `{}` did not run cleanly: {:?}", self.workload, self.status)
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
 /// One benchmark's overhead measurements.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` so the determinism tests can assert that parallel and
+/// serial sweeps produce identical rows.
+#[derive(Debug, Clone, PartialEq)]
 pub struct OverheadRow {
     /// Benchmark name.
     pub name: String,
@@ -31,16 +56,14 @@ pub struct OverheadRow {
     pub instrumented_sites: usize,
 }
 
-fn run_cycles(img: &Image) -> u64 {
+fn run_cycles(img: &Image, workload: &str) -> Result<u64, MeasureError> {
     let mut vm = Vm::new(img);
     vm.set_fuel(200_000_000);
     let r = vm.run();
-    assert!(
-        matches!(r.status, Status::Exited(0)),
-        "workload must run cleanly: {:?}",
-        r.status
-    );
-    r.cycles
+    if !matches!(r.status, Status::Exited(0)) {
+        return Err(MeasureError { workload: workload.to_string(), status: r.status });
+    }
+    Ok(r.cycles)
 }
 
 /// Measures one workload under the baseline and all three mechanisms.
@@ -48,12 +71,16 @@ fn run_cycles(img: &Image) -> u64 {
 /// Both sides run through the O2-model optimizer (register promotion +
 /// redundant-auth elision), mirroring the paper's "compiled with LTO and
 /// O2 for fair comparison" methodology (§6.3.1).
-pub fn measure(w: &Workload) -> OverheadRow {
+///
+/// # Errors
+/// Returns [`MeasureError`] when any of the four runs traps or exits
+/// non-zero.
+pub fn measure(w: &Workload) -> Result<OverheadRow, MeasureError> {
     let mut m = w.module();
     rsti_core::inline_leaf_functions(&mut m, 96);
     let mut mb = m.clone();
     rsti_core::optimize_baseline(&mut mb);
-    let base = run_cycles(&Image::baseline(&mb));
+    let base = run_cycles(&Image::baseline_owned(mb), w.name)?;
     let mut cycles = [0u64; 3];
     let mut pct = [0f64; 3];
     let mut sites = 0;
@@ -63,31 +90,94 @@ pub fn measure(w: &Workload) -> OverheadRow {
         if *mech == Mechanism::Stwc {
             sites = p.stats.signs_on_store + p.stats.auths_on_load;
         }
-        let c = run_cycles(&Image::from_instrumented(&p));
+        let c = run_cycles(&Image::from_instrumented_owned(p), w.name)?;
         cycles[i] = c;
         pct[i] = (c as f64 / base as f64 - 1.0) * 100.0;
     }
-    OverheadRow {
+    Ok(OverheadRow {
         name: w.name.to_string(),
         suite: w.suite,
         base_cycles: base,
         cycles,
         overhead_pct: pct,
         instrumented_sites: sites,
+    })
+}
+
+/// Worker count for parallel sweeps: `RSTI_BENCH_THREADS` when set to a
+/// positive integer, else all available cores; always capped by
+/// [`std::thread::available_parallelism`] so an over-eager override
+/// cannot oversubscribe the machine.
+pub fn bench_threads() -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var("RSTI_BENCH_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n.min(hw),
+        _ => hw,
     }
 }
 
-/// Measures a whole suite.
-pub fn measure_suite(ws: &[Workload]) -> Vec<OverheadRow> {
-    ws.iter().map(measure).collect()
+/// Measures a whole suite, fanning the workloads out over
+/// [`bench_threads`] scoped threads.
+///
+/// Each row is a pure function of its workload (the VM's cycle model is
+/// deterministic), so the fan-out cannot change any reported number —
+/// results land in per-workload slots and come back in suite order. See
+/// the `parallel_suite_matches_serial` test.
+///
+/// # Errors
+/// Returns the first (in suite order) [`MeasureError`] of any failing
+/// workload.
+pub fn measure_suite(ws: &[Workload]) -> Result<Vec<OverheadRow>, MeasureError> {
+    measure_suite_with_threads(ws, bench_threads())
+}
+
+/// [`measure_suite`] with an explicit worker count (`1` = fully serial,
+/// on the calling thread). Exposed so tests can compare serial and
+/// parallel sweeps directly, without racing on the environment.
+pub fn measure_suite_with_threads(
+    ws: &[Workload],
+    threads: usize,
+) -> Result<Vec<OverheadRow>, MeasureError> {
+    let threads = threads.clamp(1, ws.len().max(1));
+    if threads == 1 {
+        return ws.iter().map(measure).collect();
+    }
+    // Order-preserving fan-out: workers pull the next workload index from
+    // a shared counter and write into that index's slot, so the collected
+    // vector is in suite order no matter which worker ran what.
+    let slots: Vec<Mutex<Option<Result<OverheadRow, MeasureError>>>> =
+        ws.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(w) = ws.get(i) else { break };
+                let row = measure(w);
+                *slots[i].lock().expect("no panics while holding slot") = Some(row);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("scope joined all workers").expect("every slot filled"))
+        .collect()
 }
 
 /// Geometric mean of overhead *ratios* reported back as a percentage
 /// (the paper's aggregation).
+///
+/// Entries whose ratio `1 + p/100` is not a positive finite number (NaN
+/// percentages, or overheads at or below -100%, whose log is undefined)
+/// are skipped rather than poisoning the whole aggregate with NaN.
 pub fn geomean_pct(pcts: impl IntoIterator<Item = f64>) -> f64 {
     let (mut log_sum, mut n) = (0f64, 0u32);
     for p in pcts {
-        log_sum += (1.0 + p / 100.0).ln();
+        let ratio = 1.0 + p / 100.0;
+        if !(ratio.is_finite() && ratio > 0.0) {
+            continue;
+        }
+        log_sum += ratio.ln();
         n += 1;
     }
     if n == 0 {
@@ -130,9 +220,11 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Computes box-plot statistics for a set of overhead percentages.
+/// NaN entries carry no ordering information and are dropped before the
+/// sort (which would otherwise panic on them).
 pub fn box_stats(values: &[f64]) -> BoxStats {
-    let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    v.sort_by(f64::total_cmp);
     let q1 = percentile(&v, 0.25);
     let q3 = percentile(&v, 0.75);
     let iqr = q3 - q1;
@@ -185,12 +277,35 @@ mod tests {
     }
 
     #[test]
+    fn geomean_skips_degenerate_ratios() {
+        // NaN and ratios <= 0 (p <= -100) carry no log; the rest aggregate.
+        let clean = geomean_pct([10.0, 21.0]);
+        let dirty = geomean_pct([10.0, f64::NAN, -100.0, -250.0, 21.0]);
+        assert!((clean - dirty).abs() < 1e-12);
+        assert!(dirty.is_finite());
+        // All-degenerate input degrades to the empty-input answer.
+        assert_eq!(geomean_pct([f64::NAN, -100.0]), 0.0);
+    }
+
+    #[test]
     fn box_stats_basics() {
         let s = box_stats(&[1.0, 2.0, 3.0, 4.0, 100.0]);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 100.0);
         assert_eq!(s.median, 3.0);
         assert_eq!(s.outliers, vec![100.0]);
+    }
+
+    #[test]
+    fn box_stats_tolerates_nan() {
+        let s = box_stats(&[1.0, f64::NAN, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 3.0);
+        assert!(s.outliers.iter().all(|o| !o.is_nan()));
+        // Degenerate all-NaN input yields the empty-input summary.
+        let e = box_stats(&[f64::NAN]);
+        assert_eq!((e.min, e.median, e.max), (0.0, 0.0, 0.0));
     }
 
     #[test]
@@ -203,10 +318,44 @@ mod tests {
     #[test]
     fn single_workload_overhead_shape() {
         let w = rsti_workloads::nginx().remove(0);
-        let row = measure(&w);
+        let row = measure(&w).expect("nginx proxy runs cleanly");
         // STC <= STWC <= STL
         assert!(row.overhead_pct[1] <= row.overhead_pct[0] + 1e-9, "{row:?}");
         assert!(row.overhead_pct[0] <= row.overhead_pct[2] + 1e-9, "{row:?}");
         assert!(row.overhead_pct[0] > 0.0, "NGINX proxy is pointer-active: {row:?}");
+    }
+
+    /// The Fig. 9/10 acceptance property of the parallel harness: fanning
+    /// a sweep out over threads changes *nothing* about the reported rows
+    /// — names, cycle counts, percentages, and site counts are identical
+    /// to the serial sweep, element for element.
+    #[test]
+    fn parallel_suite_matches_serial() {
+        let ws: Vec<_> =
+            rsti_workloads::nbench().into_iter().chain(rsti_workloads::nginx()).collect();
+        let serial = measure_suite_with_threads(&ws, 1).expect("suite runs cleanly");
+        let parallel = measure_suite_with_threads(&ws, 4).expect("suite runs cleanly");
+        assert_eq!(serial.len(), ws.len());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn measure_error_reports_workload_and_status() {
+        // A program that exits non-zero is a measurement error, not a panic.
+        let w = rsti_workloads::Workload {
+            name: "exits-badly",
+            suite: rsti_workloads::Suite::Nbench,
+            source: "int main() { return 3; }".into(),
+        };
+        let e = measure(&w).expect_err("non-zero exit must fail the measurement");
+        assert_eq!(e.workload, "exits-badly");
+        assert_eq!(e.status, Status::Exited(3));
+    }
+
+    #[test]
+    fn bench_threads_is_positive_and_capped() {
+        let n = bench_threads();
+        let hw = std::thread::available_parallelism().map_or(1, |c| c.get());
+        assert!(n >= 1 && n <= hw, "bench_threads() = {n}, hw = {hw}");
     }
 }

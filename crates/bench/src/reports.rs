@@ -1,6 +1,6 @@
 //! Text renderers for the figure/table reproductions.
 
-use crate::overhead::{box_stats, geomean_pct, measure_suite, pearson, OverheadRow};
+use crate::overhead::{box_stats, geomean_pct, measure_suite, pearson, MeasureError, OverheadRow};
 use rsti_workloads::{cpython, nbench, nginx, spec2006, spec2017, Workload};
 
 /// The full Figure 9 data set: per-benchmark SPEC2017 overheads plus the
@@ -21,14 +21,29 @@ pub struct Fig9 {
 impl Fig9 {
     /// Measures everything (minutes of VM time in debug; seconds in
     /// release).
-    pub fn measure() -> Self {
-        Fig9 {
-            spec2017: measure_suite(&spec2017()),
-            spec2006: measure_suite(&spec2006()),
-            nbench: measure_suite(&nbench()),
-            cpython: measure_suite(&cpython()),
-            nginx: measure_suite(&nginx()),
-        }
+    ///
+    /// All five suites are flattened into one workload list and fanned
+    /// out together over [`crate::overhead::bench_threads`] scoped
+    /// threads — one pool, so the long SPEC rows overlap the short
+    /// nbench/NGINX tail instead of each suite serialising on its own
+    /// slowest member. The flat results are split back per suite in
+    /// order, so every row is exactly what a serial sweep would report.
+    ///
+    /// # Errors
+    /// Returns the first failing workload's [`MeasureError`].
+    pub fn measure() -> Result<Self, MeasureError> {
+        let suites = [spec2017(), spec2006(), nbench(), cpython(), nginx()];
+        let counts: Vec<usize> = suites.iter().map(Vec::len).collect();
+        let all: Vec<Workload> = suites.into_iter().flatten().collect();
+        let mut rows = measure_suite(&all)?.into_iter();
+        let mut take = |n: usize| rows.by_ref().take(n).collect::<Vec<_>>();
+        Ok(Fig9 {
+            spec2017: take(counts[0]),
+            spec2006: take(counts[1]),
+            nbench: take(counts[2]),
+            cpython: take(counts[3]),
+            nginx: take(counts[4]),
+        })
     }
 
     /// Geomean of `[STWC, STC, STL]` over a row set.

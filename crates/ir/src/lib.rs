@@ -49,5 +49,5 @@ pub use function::{BasicBlock, BlockId, Function, InstNode, ValueId};
 pub use inst::{BinOp, CmpOp, Inst, Operand, PacKey, PacSite, Terminator};
 pub use module::{FuncId, GlobalDef, GlobalId, GlobalInit, Module, StrId};
 pub use printer::{print_function, print_inst, print_module};
-pub use types::{FieldDef, FuncSig, StructDef, StructId, Type, TypeId, TypeTable};
+pub use types::{FieldDef, FuncSig, StructDef, StructId, Type, TypeId, TypeLayout, TypeTable};
 pub use verify::{verify_module, VerifyError};

@@ -335,6 +335,30 @@ impl TypeTable {
         def.fields[..idx].iter().map(|f| self.size_of(f.ty)).sum()
     }
 
+    /// Precomputes the data layout of every interned type and struct, so
+    /// per-access address arithmetic (the interpreter's `IndexAddr` /
+    /// `FieldAddr` / `Alloca` paths) is an indexed load instead of a
+    /// recursive walk over struct definitions.
+    pub fn layout(&self) -> TypeLayout {
+        let sizes = (0..self.types.len()).map(|i| self.size_of(TypeId(i as u32))).collect();
+        let field_offsets = self
+            .structs
+            .iter()
+            .map(|d| {
+                let mut off = 0u64;
+                d.fields
+                    .iter()
+                    .map(|f| {
+                        let o = off;
+                        off += self.size_of(f.ty);
+                        o
+                    })
+                    .collect()
+            })
+            .collect();
+        TypeLayout { sizes, field_offsets }
+    }
+
     /// Renders a type as C-flavoured source text (`struct node*`, `void*`,
     /// `int (*)(int)`), the spelling used in reports and tables.
     pub fn display(&self, id: TypeId) -> String {
@@ -355,6 +379,31 @@ impl TypeTable {
                 format!("{} ({})", self.display(sig.ret), params.join(", "))
             }
         }
+    }
+}
+
+/// Frozen layout answers for a [`TypeTable`]: the size of every interned
+/// type and the byte offset of every struct field, computed once by
+/// [`TypeTable::layout`]. Valid for as long as the table it was built from
+/// is not extended (the VM builds it after the module is final).
+#[derive(Debug, Clone)]
+pub struct TypeLayout {
+    sizes: Vec<u64>,
+    field_offsets: Vec<Vec<u64>>,
+}
+
+impl TypeLayout {
+    /// Size of the type in bytes; same answer as [`TypeTable::size_of`].
+    #[inline]
+    pub fn size_of(&self, id: TypeId) -> u64 {
+        self.sizes[id.0 as usize]
+    }
+
+    /// Byte offset of field `idx` inside struct `sid`; same answer as
+    /// [`TypeTable::field_offset`].
+    #[inline]
+    pub fn field_offset(&self, sid: StructId, idx: usize) -> u64 {
+        self.field_offsets[sid.0 as usize][idx]
     }
 }
 

@@ -8,7 +8,7 @@
 //! enforces that by keeping [`PacKeys`] outside the attacker-addressable
 //! memory space.
 
-use rand::Rng;
+use rsti_rng::Rng64;
 
 /// Identifies one of the five key registers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,13 +42,13 @@ pub struct PacKeys {
 
 impl PacKeys {
     /// Generates a fresh random key bank (what the kernel does at `exec`).
-    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+    pub fn random(rng: &mut Rng64) -> Self {
         PacKeys {
-            ia: rng.gen(),
-            ib: rng.gen(),
-            da: rng.gen(),
-            db: rng.gen(),
-            ga: rng.gen(),
+            ia: rng.next_u128(),
+            ib: rng.next_u128(),
+            da: rng.next_u128(),
+            db: rng.next_u128(),
+            ga: rng.next_u128(),
         }
     }
 
@@ -79,11 +79,10 @@ impl PacKeys {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn random_keys_are_distinct_across_registers() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = Rng64::seed_from_u64(7);
         let k = PacKeys::random(&mut rng);
         let all: Vec<u128> = KeyId::ALL.iter().map(|&id| k.key(id)).collect();
         let mut dedup = all.clone();

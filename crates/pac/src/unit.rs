@@ -4,7 +4,8 @@
 
 use crate::keys::{KeyId, PacKeys};
 use crate::pointer::VaConfig;
-use crate::qarma::Qarma64;
+use crate::qarma::{tweak_schedule, Qarma64, TweakSchedule};
+use std::cell::Cell;
 use std::fmt;
 
 /// Error produced by a failed authentication.
@@ -40,6 +41,23 @@ impl std::error::Error for AuthFailure {}
 pub struct PacUnit {
     cfg: VaConfig,
     ciphers: [Qarma64; 5],
+    /// Direct-mapped memo of recent modifiers' round-tweak schedules.
+    /// RSTI modifiers are type/scope IDs drawn from a small set that
+    /// repeats across long runs of sign/auth operations (and sign/auth
+    /// streams interleave two or three of them), so the LFSR expansion
+    /// usually runs once per modifier rather than once per operation.
+    /// Key-independent (the schedule is a function of the tweak alone),
+    /// hence shared across the five key banks. `Cell`s keep `compute_pac`
+    /// callable through `&self`; the unit is per-VM and never shared
+    /// across threads.
+    sched: [Cell<(u64, TweakSchedule)>; 8],
+    /// Direct-mapped memo of recent full PAC results, keyed by
+    /// `(key, canonical pointer, modifier)`. A signed pointer is usually
+    /// authenticated with the *same* triple moments later (store → load →
+    /// `aut`), and loop-carried pointers re-sign the same triple every
+    /// iteration — both turn the 14-round cipher into a table hit. Pure
+    /// memoisation of a deterministic function; misses just recompute.
+    pacs: [Cell<(u64, u64, u64, u64)>; 64],
     /// Number of `pac` operations executed (performance counters).
     pub sign_count: u64,
     /// Number of `aut` operations executed.
@@ -55,6 +73,10 @@ impl PacUnit {
         PacUnit {
             cfg,
             ciphers: [mk(KeyId::Ia), mk(KeyId::Ib), mk(KeyId::Da), mk(KeyId::Db), mk(KeyId::Ga)],
+            sched: std::array::from_fn(|_| Cell::new((0, tweak_schedule(0)))),
+            // Key code `u64::MAX` is not a valid bank index, so fresh
+            // slots can never produce a false hit.
+            pacs: std::array::from_fn(|_| Cell::new((u64::MAX, 0, 0, 0))),
             sign_count: 0,
             auth_count: 0,
             fail_count: 0,
@@ -71,14 +93,18 @@ impl PacUnit {
         self.cfg
     }
 
-    fn cipher(&self, key: KeyId) -> &Qarma64 {
-        &self.ciphers[match key {
+    fn key_index(key: KeyId) -> usize {
+        match key {
             KeyId::Ia => 0,
             KeyId::Ib => 1,
             KeyId::Da => 2,
             KeyId::Db => 3,
             KeyId::Ga => 4,
-        }]
+        }
+    }
+
+    fn cipher(&self, key: KeyId) -> &Qarma64 {
+        &self.ciphers[Self::key_index(key)]
     }
 
     /// Computes the PAC for a canonical pointer + modifier, truncated to
@@ -86,7 +112,22 @@ impl PacUnit {
     /// (hardware excludes ignored bits).
     pub fn compute_pac(&self, key: KeyId, ptr: u64, modifier: u64) -> u64 {
         let canon = self.cfg.canonical(ptr);
-        self.cfg.truncate_pac(self.cipher(key).encrypt(canon, modifier))
+        let ki = Self::key_index(key) as u64;
+        let h = (canon ^ modifier.rotate_left(17) ^ ki).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let pac_slot = &self.pacs[(h >> 58) as usize];
+        let (ck, cc, cm, cp) = pac_slot.get();
+        if ck == ki && cc == canon && cm == modifier {
+            return cp;
+        }
+        let slot = &self.sched[(modifier ^ (modifier >> 3)) as usize & 7];
+        let (cached_tweak, mut ts) = slot.get();
+        if cached_tweak != modifier {
+            ts = tweak_schedule(modifier);
+            slot.set((modifier, ts));
+        }
+        let pac = self.cfg.truncate_pac(self.cipher(key).encrypt_with_schedule(canon, &ts));
+        pac_slot.set((ki, canon, modifier, pac));
+        pac
     }
 
     /// `pac` — signs `ptr` with `modifier`, inserting the PAC into the

@@ -87,8 +87,7 @@ fn poison_is_never_canonical() {
 /// per-process keys make offline PAC dictionaries useless.
 #[test]
 fn random_key_banks_differ() {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = rsti_rng::Rng64::seed_from_u64(1);
     let k1 = PacKeys::random(&mut rng);
     let k2 = PacKeys::random(&mut rng);
     let u1 = PacUnit::new(&k1, VaConfig::paper_default());

@@ -105,10 +105,21 @@ impl Memory {
         }
     }
 
+    /// Segment index for an address. The four segments sit in disjoint
+    /// top-byte regions of the 48-bit VA, so the common case is a direct
+    /// dispatch on `addr >> 40` instead of a linear scan — this sits under
+    /// every load/store the interpreter executes.
+    #[inline]
     fn seg_of(&self, addr: u64) -> Option<usize> {
-        self.segments
-            .iter()
-            .position(|s| addr >= s.base && addr < s.base + s.data.len() as u64)
+        let si = match addr >> 40 {
+            0x20 => 0, // GLOBAL_BASE
+            0x30 => 1, // STR_BASE
+            0x40 => 2, // HEAP_BASE
+            0x7F => 3, // STACK_BASE
+            _ => return None,
+        };
+        let s = &self.segments[si];
+        (addr >= s.base && addr < s.base + s.data.len() as u64).then_some(si)
     }
 
     /// Reads `len` bytes at `addr`.
@@ -145,6 +156,26 @@ impl Memory {
             return Err(MemFault::OutOfRange { addr, len });
         }
         s.data[off..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Zero-fills `len` bytes at `addr` in place (no temporary buffer) —
+    /// used by the interpreter to clear fresh stack slots.
+    ///
+    /// # Errors
+    /// Faults when the range is unmapped or read-only.
+    pub fn write_zeros(&mut self, addr: u64, len: u64) -> Result<(), MemFault> {
+        let si = self.seg_of(addr).ok_or(MemFault::Unmapped { addr })?;
+        let s = &mut self.segments[si];
+        if !s.writable {
+            return Err(MemFault::ReadOnly { addr });
+        }
+        let off = (addr - s.base) as usize;
+        let end = off.checked_add(len as usize).ok_or(MemFault::OutOfRange { addr, len })?;
+        if end > s.data.len() {
+            return Err(MemFault::OutOfRange { addr, len });
+        }
+        s.data[off..end].fill(0);
         Ok(())
     }
 

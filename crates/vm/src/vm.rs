@@ -23,11 +23,12 @@ use crate::mem::{layout, Allocator, MemFault, Memory};
 use rsti_core::{GlobalSign, InstrumentedProgram, Mechanism};
 use rsti_ir::{
     BinOp, CmpOp, FuncId, GlobalInit, Inst, Module, Operand, PacKey, PacSite, Terminator, Type,
-    TypeId, ValueId, VarId,
+    TypeId, TypeLayout, ValueId, VarId,
 };
 use rsti_pac::{KeyId, PacKeys, PacUnit, VaConfig};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A runtime value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -244,10 +245,15 @@ pub enum Backend {
 }
 
 /// A loadable program image: module + runtime configuration.
+///
+/// The module is held behind an [`Arc`] so that building an image — and
+/// cloning one per measurement run — never deep-copies the program. The
+/// measurement harness constructs hundreds of images per Fig. 9 sweep;
+/// with the shared module an `Image` is a handful of plain-data fields.
 #[derive(Debug, Clone)]
 pub struct Image {
-    /// The (possibly instrumented) module.
-    pub module: Module,
+    /// The (possibly instrumented) module, shared between images and runs.
+    pub module: Arc<Module>,
     /// Mechanism, `None` for an uninstrumented baseline image.
     pub mechanism: Option<Mechanism>,
     /// Globals the loader signs before `main`.
@@ -299,15 +305,30 @@ impl Image {
     /// `pac_op = 22` cycles (PA op + call + two memory accesses) instead
     /// of RSTI's inlined 7.
     pub fn from_instrumented(p: &InstrumentedProgram) -> Self {
+        Self::instrumented_parts(Arc::new(p.module.clone()), p.mechanism, p.global_signing.clone())
+    }
+
+    /// Builds an image from an instrumented program, taking ownership —
+    /// the zero-copy path for harnesses that instrument once per run.
+    pub fn from_instrumented_owned(p: InstrumentedProgram) -> Self {
+        let mechanism = p.mechanism;
+        Self::instrumented_parts(Arc::new(p.module), mechanism, p.global_signing)
+    }
+
+    fn instrumented_parts(
+        module: Arc<Module>,
+        mechanism: Mechanism,
+        global_signing: Vec<GlobalSign>,
+    ) -> Self {
         let mut cost = CostModel::default();
-        if p.mechanism == Mechanism::Parts {
+        if mechanism == Mechanism::Parts {
             cost.pac_op = 22;
             cost.pp_pac = 24;
         }
         Image {
-            module: p.module.clone(),
-            mechanism: Some(p.mechanism),
-            global_signing: p.global_signing.clone(),
+            module,
+            mechanism: Some(mechanism),
+            global_signing,
             keys: PacKeys::test_keys(),
             va: VaConfig::paper_default(),
             cost,
@@ -320,8 +341,14 @@ impl Image {
 
     /// Builds an uninstrumented baseline image.
     pub fn baseline(m: &Module) -> Self {
+        Self::baseline_shared(Arc::new(m.clone()))
+    }
+
+    /// Builds an uninstrumented baseline image around an already-shared
+    /// module — no copy at all.
+    pub fn baseline_shared(module: Arc<Module>) -> Self {
         Image {
-            module: m.clone(),
+            module,
             mechanism: None,
             global_signing: Vec::new(),
             keys: PacKeys::test_keys(),
@@ -333,31 +360,71 @@ impl Image {
             shadow_stack: true,
         }
     }
+
+    /// Builds an uninstrumented baseline image, taking ownership of the
+    /// module (zero-copy).
+    pub fn baseline_owned(m: Module) -> Self {
+        Self::baseline_shared(Arc::new(m))
+    }
 }
 
 struct Frame {
     func: FuncId,
     block: usize,
     idx: usize,
-    regs: Vec<Option<RtVal>>,
+    /// Dense register file indexed by `ValueId`. Entries are tagged with
+    /// the generation that wrote them: a slot is defined only when its tag
+    /// equals [`Frame::gen`], so recycling a pooled frame costs a counter
+    /// bump instead of a memset over every slot.
+    regs: Vec<(u32, RtVal)>,
     stack_mark: u64,
     ret_to: Option<ValueId>,
     locals: Vec<(VarId, u64)>,
-    alloca_cache: HashMap<ValueId, u64>,
+    /// Per-value alloca address cache, indexed and generation-tagged like
+    /// `regs` (an entry is live only when its tag matches `gen`).
+    alloca_cache: Vec<(u32, u64)>,
+    /// The generation tag marking live entries of `regs`/`alloca_cache`.
+    /// Bumped on every reuse; never 0 while the frame is active.
+    gen: u32,
     /// Without a shadow stack: the in-memory slot holding the return
     /// address, and the value it is supposed to contain.
     ret_slot: Option<(u64, u64)>,
 }
 
+impl Frame {
+    fn blank() -> Self {
+        Frame {
+            func: FuncId(0),
+            block: 0,
+            idx: 0,
+            regs: Vec::new(),
+            stack_mark: 0,
+            ret_to: None,
+            locals: Vec::new(),
+            alloca_cache: Vec::new(),
+            gen: 0,
+            ret_slot: None,
+        }
+    }
+}
+
 /// The virtual machine.
 pub struct Vm<'img> {
     img: &'img Image,
+    /// Precomputed type sizes / field offsets — address arithmetic in the
+    /// `IndexAddr` / `FieldAddr` / `Alloca` arms is an indexed load rather
+    /// than a recursive walk over struct definitions per instruction.
+    tl: TypeLayout,
     /// Memory (attacker-reachable data lives here).
     pub mem: Memory,
     alloc: Allocator,
     pac: PacUnit,
     pp_table: HashMap<u8, u64>,
     frames: Vec<Frame>,
+    /// Retired frames kept for reuse: their `regs`/`alloca_cache`/`locals`
+    /// buffers are recycled so steady-state call/return performs no heap
+    /// allocation.
+    frame_pool: Vec<Frame>,
     output: Vec<String>,
     events: Vec<ExtEvent>,
     cycles: u64,
@@ -380,6 +447,9 @@ pub struct Vm<'img> {
     /// MacTable backend: slot address of the last pointer load.
     last_ptr_load: Option<u64>,
     site_counts: [u64; 6],
+    /// Scratch buffer for evaluated call arguments, reused across calls so
+    /// argument passing allocates nothing in steady state.
+    call_args: Vec<RtVal>,
 }
 
 /// Result of [`Vm::run_to_function`].
@@ -468,11 +538,13 @@ impl<'img> Vm<'img> {
 
         let mut vm = Vm {
             img,
+            tl: m.types.layout(),
             mem,
             alloc: Allocator::new(img.heap_size),
             pac,
             pp_table: HashMap::new(),
             frames: Vec::new(),
+            frame_pool: Vec::new(),
             output: Vec::new(),
             events: Vec::new(),
             cycles: 0,
@@ -487,9 +559,10 @@ impl<'img> Vm<'img> {
             pending_mac: None,
             last_ptr_load: None,
             site_counts: [0; 6],
+            call_args: Vec::new(),
         };
         let main = m.func_by_name("main").expect("module has a main function");
-        vm.push_frame(main, vec![], None).expect("main frame");
+        vm.push_frame(main, &[], None).expect("main frame");
         vm
     }
 
@@ -610,14 +683,22 @@ impl<'img> Vm<'img> {
 
     fn run_internal(&mut self, watch: Option<FuncId>) {
         let mut skip_check = std::mem::take(&mut self.paused);
+        let Some(w) = watch else {
+            // No watchpoint (the measurement path): a tight step loop with
+            // no per-step entry check.
+            while self.status.is_none() {
+                if let Err(t) = self.step() {
+                    self.status = Some(Status::Trapped(t));
+                }
+            }
+            return;
+        };
         while self.status.is_none() {
             if !skip_check {
-                if let Some(w) = watch {
-                    if let Some(fr) = self.frames.last() {
-                        if fr.func == w && fr.block == 0 && fr.idx == 0 {
-                            self.paused = true;
-                            return; // paused at function entry
-                        }
+                if let Some(fr) = self.frames.last() {
+                    if fr.func == w && fr.block == 0 && fr.idx == 0 {
+                        self.paused = true;
+                        return; // paused at function entry
                     }
                 }
             }
@@ -649,7 +730,7 @@ impl<'img> Vm<'img> {
     fn push_frame(
         &mut self,
         fid: FuncId,
-        args: Vec<RtVal>,
+        args: &[RtVal],
         ret_to: Option<ValueId>,
     ) -> Result<(), Trap> {
         if self.frames.len() >= 4096 {
@@ -658,13 +739,34 @@ impl<'img> Vm<'img> {
         let img = self.img;
         let f = &img.module.funcs[fid.0 as usize];
         debug_assert!(!f.is_external);
-        let mut regs = vec![None; f.value_types.len()];
+        let mut frame = self.frame_pool.pop().unwrap_or_else(Frame::blank);
+        let nvals = f.value_types.len();
+        // Invalidate every slot by bumping the generation; on wrap, hard
+        // reset the tags once (tag 0 never matches a live generation).
+        if frame.gen == u32::MAX {
+            for e in &mut frame.regs {
+                e.0 = 0;
+            }
+            for e in &mut frame.alloca_cache {
+                e.0 = 0;
+            }
+            frame.gen = 1;
+        } else {
+            frame.gen += 1;
+        }
+        if frame.regs.len() < nvals {
+            frame.regs.resize(nvals, (0, RtVal::I(0)));
+        }
+        if frame.alloca_cache.len() < nvals {
+            frame.alloca_cache.resize(nvals, (0, 0));
+        }
+        frame.locals.clear();
         // Extra arguments (a hijacked call with a mismatched signature, or
         // varargs) are silently dropped, as the AAPCS would leave them in
         // unread registers.
-        for (i, a) in args.into_iter().enumerate() {
+        for (i, &a) in args.iter().enumerate() {
             if let Some((pv, _)) = f.params.get(i) {
-                regs[pv.0 as usize] = Some(a);
+                frame.regs[pv.0 as usize] = (frame.gen, a);
             }
         }
         // Without the shadow stack, spill a return token into stack
@@ -684,25 +786,33 @@ impl<'img> Vm<'img> {
                 .map_err(|e| Trap::Mem { func: String::from("<prologue>"), fault: e })?;
             Some((slot, caller_code))
         };
-        self.frames.push(Frame {
-            func: fid,
-            block: 0,
-            idx: 0,
-            regs,
-            stack_mark: self.stack_top - if ret_slot.is_some() { 8 } else { 0 },
-            ret_to,
-            locals: Vec::new(),
-            alloca_cache: HashMap::new(),
-            ret_slot,
-        });
+        frame.func = fid;
+        frame.block = 0;
+        frame.idx = 0;
+        frame.stack_mark = self.stack_top - if ret_slot.is_some() { 8 } else { 0 };
+        frame.ret_to = ret_to;
+        frame.ret_slot = ret_slot;
+        self.frames.push(frame);
         Ok(())
+    }
+
+    /// Returns a popped frame's buffers to the pool for reuse.
+    fn recycle(&mut self, frame: Frame) {
+        if self.frame_pool.len() < 64 {
+            self.frame_pool.push(frame);
+        }
     }
 
     fn eval(&self, op: &Operand) -> Result<RtVal, Trap> {
         let fr = self.frames.last().expect("active frame");
         Ok(match op {
-            Operand::Value(v) => fr.regs[v.0 as usize]
-                .ok_or_else(|| Trap::BadProgram(format!("use of undefined {v}")))?,
+            Operand::Value(v) => {
+                let (tag, val) = fr.regs[v.0 as usize];
+                if tag != fr.gen {
+                    return Err(Trap::BadProgram(format!("use of undefined {v}")));
+                }
+                val
+            }
             Operand::ConstInt(v, _) => RtVal::I(*v),
             Operand::ConstFloat(bits, _) => RtVal::F(f64::from_bits(*bits)),
             Operand::Null(_) => RtVal::P(0),
@@ -714,7 +824,7 @@ impl<'img> Vm<'img> {
 
     fn set(&mut self, v: ValueId, val: RtVal) {
         let fr = self.frames.last_mut().expect("active frame");
-        fr.regs[v.0 as usize] = Some(val);
+        fr.regs[v.0 as usize] = (fr.gen, val);
     }
 
     fn as_ptr(&self, v: RtVal) -> Result<u64, Trap> {
@@ -781,19 +891,43 @@ impl<'img> Vm<'img> {
     fn store_typed(&mut self, addr: u64, ty: TypeId, v: RtVal) -> Result<(), Trap> {
         let img = self.img;
         let m = &img.module;
-        let bytes: Vec<u8> = match (m.types.get(ty), v) {
-            (Type::Bool | Type::I8, RtVal::I(i)) => vec![i as u8],
-            (Type::I16, RtVal::I(i)) => (i as i16).to_le_bytes().to_vec(),
-            (Type::I32, RtVal::I(i)) => (i as i32).to_le_bytes().to_vec(),
-            (Type::I64, RtVal::I(i)) => i.to_le_bytes().to_vec(),
-            (Type::F64, RtVal::F(f)) => f.to_le_bytes().to_vec(),
-            (Type::F64, RtVal::I(i)) => (i as f64).to_le_bytes().to_vec(),
-            (Type::Ptr(_), v) => self.as_ptr(v)?.to_le_bytes().to_vec(),
+        // All scalar stores are <= 8 bytes: encode into a stack scratch
+        // buffer instead of allocating a `Vec` per store.
+        let mut buf = [0u8; 8];
+        let n: usize = match (m.types.get(ty), v) {
+            (Type::Bool | Type::I8, RtVal::I(i)) => {
+                buf[0] = i as u8;
+                1
+            }
+            (Type::I16, RtVal::I(i)) => {
+                buf[..2].copy_from_slice(&(i as i16).to_le_bytes());
+                2
+            }
+            (Type::I32, RtVal::I(i)) => {
+                buf[..4].copy_from_slice(&(i as i32).to_le_bytes());
+                4
+            }
+            (Type::I64, RtVal::I(i)) => {
+                buf = i.to_le_bytes();
+                8
+            }
+            (Type::F64, RtVal::F(f)) => {
+                buf = f.to_le_bytes();
+                8
+            }
+            (Type::F64, RtVal::I(i)) => {
+                buf = (i as f64).to_le_bytes();
+                8
+            }
+            (Type::Ptr(_), v) => {
+                buf = self.as_ptr(v)?.to_le_bytes();
+                8
+            }
             (t, v) => {
                 return Err(Trap::BadProgram(format!("store of {v:?} into {t:?}")))
             }
         };
-        self.mem.write(addr, &bytes).map_err(|e| self.mem_err(e))
+        self.mem.write(addr, &buf[..n]).map_err(|e| self.mem_err(e))
     }
 
     /// The type a store writes through (pointee of the ptr operand).
@@ -821,33 +955,56 @@ impl<'img> Vm<'img> {
         }
     }
 
-    /// Executes one instruction or terminator.
+    /// Executes the rest of the current basic block: straight-line
+    /// instructions up to the terminator, stopping early when control
+    /// transfers (a call pushes a frame), the run status is decided (an
+    /// external `exit`), or an instruction traps.
+    ///
+    /// Executing a block per call — rather than one instruction — hoists
+    /// the function/block lookups out of the per-instruction path; the
+    /// instruction and cycle counters advance exactly as they would under
+    /// single-stepping, so every observable total is unchanged.
     ///
     /// # Errors
     /// Returns the trap that stopped execution.
     pub fn step(&mut self) -> Result<(), Trap> {
+        // `self.img` is a `&'img Image` — copying the reference out gives
+        // borrows of the instruction stream that live independently of
+        // `&mut self`, so dispatch borrows each `Inst`/`Terminator` in
+        // place instead of cloning it.
+        let img = self.img;
+        let depth = self.frames.len();
+        let fr = self.frames.last().expect("active frame");
+        let f = &img.module.funcs[fr.func.0 as usize];
+        let blk = &f.blocks[fr.block];
+        let mut idx = fr.idx;
+
+        while idx < blk.insts.len() {
+            if self.insts >= self.fuel {
+                return Err(Trap::FuelExhausted);
+            }
+            self.insts += 1;
+            let inst = &blk.insts[idx].inst;
+            idx += 1;
+            // Commit the new index before executing: calls resume the
+            // caller here, and trap diagnostics read it.
+            self.frames.last_mut().expect("active frame").idx = idx;
+            self.cycles += img.cost.cost(inst);
+            self.exec_inst(inst)?;
+            if self.frames.len() != depth || self.status.is_some() {
+                // Control left this block (call push / program exit):
+                // the cached block slice no longer describes the current
+                // frame, so hand back to the driver loop.
+                return Ok(());
+            }
+        }
+
         if self.insts >= self.fuel {
             return Err(Trap::FuelExhausted);
         }
         self.insts += 1;
-
-        let img = self.img;
-        let fr = self.frames.last().expect("active frame");
-        let fid = fr.func;
-        let (block, idx) = (fr.block, fr.idx);
-        let f = &img.module.funcs[fid.0 as usize];
-        let blk = &f.blocks[block];
-
-        if idx < blk.insts.len() {
-            let inst = blk.insts[idx].inst.clone();
-            self.cycles += self.img.cost.cost(&inst);
-            self.frames.last_mut().expect("frame").idx += 1;
-            self.exec_inst(&inst)
-        } else {
-            self.cycles += self.img.cost.branch;
-            let term = blk.term.clone();
-            self.exec_term(&term)
-        }
+        self.cycles += img.cost.branch;
+        self.exec_term(&blk.term)
     }
 
     fn jump(&mut self, bb: rsti_ir::BlockId) {
@@ -885,6 +1042,7 @@ impl<'img> Vm<'img> {
                     if found != expected {
                         let fr = self.frames.pop().expect("frame");
                         self.stack_top = fr.stack_mark;
+                        self.recycle(fr);
                         let target = self.img.va.canonical(found);
                         return match resolve_code_addr(&self.img.module, target) {
                             Some((fid, true)) => {
@@ -898,7 +1056,7 @@ impl<'img> Vm<'img> {
                                 }));
                                 Ok(())
                             }
-                            Some((fid, false)) => self.push_frame(fid, vec![], None),
+                            Some((fid, false)) => self.push_frame(fid, &[], None),
                             None => Err(Trap::Mem {
                                 func: self.cur_func_name(),
                                 fault: MemFault::Unmapped { addr: found },
@@ -920,10 +1078,15 @@ impl<'img> Vm<'img> {
                     }
                     Some(caller) => {
                         if let Some(rt) = fr.ret_to {
-                            caller.regs[rt.0 as usize] = val;
+                            caller.regs[rt.0 as usize] = match val {
+                                Some(v) => (caller.gen, v),
+                                // Void return into a slot: leave undefined.
+                                None => (0, RtVal::I(0)),
+                            };
                         }
                     }
                 }
+                self.recycle(fr);
                 Ok(())
             }
             Terminator::Unreachable => {
@@ -938,22 +1101,22 @@ impl<'img> Vm<'img> {
         match inst {
             Inst::Alloca { result, ty, var } => {
                 let fr = self.frames.last().expect("frame");
-                if let Some(&cached) = fr.alloca_cache.get(result) {
+                let (tag, cached) = fr.alloca_cache[result.0 as usize];
+                if tag == fr.gen {
                     self.set(*result, RtVal::P(cached));
                     return Ok(());
                 }
-                let size = m.types.size_of(*ty).max(1).div_ceil(8) * 8;
+                let size = self.tl.size_of(*ty).max(1).div_ceil(8) * 8;
                 let addr = self.stack_top;
                 if addr + size >= layout::STACK_BASE + self.img.stack_size {
                     return Err(Trap::StackOverflow);
                 }
                 self.stack_top += size;
                 // Zero the slot (fresh stack in this model).
-                let zeros = vec![0u8; size as usize];
-                self.mem.write(addr, &zeros).map_err(|e| self.mem_err(e))?;
+                self.mem.write_zeros(addr, size).map_err(|e| self.mem_err(e))?;
                 let var = *var;
                 let fr = self.frames.last_mut().expect("frame");
-                fr.alloca_cache.insert(*result, addr);
+                fr.alloca_cache[result.0 as usize] = (fr.gen, addr);
                 if let Some(v) = var {
                     fr.locals.push((v, addr));
                 }
@@ -984,7 +1147,7 @@ impl<'img> Vm<'img> {
             }
             Inst::FieldAddr { result, base, struct_id, field } => {
                 let b = self.as_ptr(self.eval(base)?)?;
-                let off = m.types.field_offset(*struct_id, *field);
+                let off = self.tl.field_offset(*struct_id, *field);
                 self.set(*result, RtVal::P(b.wrapping_add(off)));
                 Ok(())
             }
@@ -997,7 +1160,7 @@ impl<'img> Vm<'img> {
                         return Err(Trap::BadProgram("float index".into()))
                     }
                 };
-                let sz = m.types.size_of(*elem_ty).max(1) as i64;
+                let sz = self.tl.size_of(*elem_ty).max(1) as i64;
                 self.set(*result, RtVal::P(b.wrapping_add((i * sz) as u64)));
                 Ok(())
             }
@@ -1033,20 +1196,29 @@ impl<'img> Vm<'img> {
                 Ok(())
             }
             Inst::Call { result, callee, args } => {
-                let mut argv = Vec::with_capacity(args.len());
+                let mut argv = std::mem::take(&mut self.call_args);
+                argv.clear();
                 for a in args {
-                    argv.push(self.eval(a)?);
+                    match self.eval(a) {
+                        Ok(v) => argv.push(v),
+                        Err(e) => {
+                            self.call_args = argv;
+                            return Err(e);
+                        }
+                    }
                 }
                 let callee_f = &m.funcs[callee.0 as usize];
-                if callee_f.is_external {
+                let r = if callee_f.is_external {
                     let v = self.external_call(&callee_f.name, &argv, callee_f.sig.ret);
                     if let (Some(r), Some(v)) = (result, v) {
                         self.set(*r, v);
                     }
                     Ok(())
                 } else {
-                    self.push_frame(*callee, argv, *result)
-                }
+                    self.push_frame(*callee, &argv, *result)
+                };
+                self.call_args = argv;
+                r
             }
             Inst::CallIndirect { result, callee, args, sig } => {
                 let p = self.as_ptr(self.eval(callee)?)?;
@@ -1060,11 +1232,18 @@ impl<'img> Vm<'img> {
                         target,
                     });
                 };
-                let mut argv = Vec::with_capacity(args.len());
+                let mut argv = std::mem::take(&mut self.call_args);
+                argv.clear();
                 for a in args {
-                    argv.push(self.eval(a)?);
+                    match self.eval(a) {
+                        Ok(v) => argv.push(v),
+                        Err(e) => {
+                            self.call_args = argv;
+                            return Err(e);
+                        }
+                    }
                 }
-                if external {
+                let r = if external {
                     let name = m.funcs[fid.0 as usize].name.clone();
                     let v = self.external_call(&name, &argv, sig.ret);
                     if let (Some(r), Some(v)) = (result, v) {
@@ -1072,8 +1251,10 @@ impl<'img> Vm<'img> {
                     }
                     Ok(())
                 } else {
-                    self.push_frame(fid, argv, *result)
-                }
+                    self.push_frame(fid, &argv, *result)
+                };
+                self.call_args = argv;
+                r
             }
             Inst::Malloc { result, size, .. } => {
                 let sz = match self.eval(size)? {

@@ -6,8 +6,7 @@
 //! baseline output under every mechanism) and for stressing the STI
 //! analysis beyond the hand-written proxies.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rsti_rng::Rng64;
 use std::fmt::Write as _;
 
 /// Generation parameters.
@@ -31,7 +30,7 @@ impl Default for GenConfig {
 
 /// Generates a deterministic random MiniC program for `seed`.
 pub fn generate(seed: u64, cfg: GenConfig) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut src = String::new();
     let ns = cfg.structs.max(1);
 
@@ -64,13 +63,13 @@ pub fn generate(seed: u64, cfg: GenConfig) -> String {
     // Worker functions: take a pointer (sometimes as void*), walk/update.
     let mut calls = Vec::new();
     for f in 0..cfg.funcs {
-        let s = rng.gen_range(0..ns);
+        let s = rng.gen_range(0, ns as u64);
         let via_void = rng.gen_bool(0.4);
         if via_void {
             let _ = writeln!(
                 src,
                 "long work{f}(void* raw) {{\n    struct s{s}* p = (struct s{s}*) raw;\n    if (p == null) {{ return 0; }}\n    p->v = p->v + {inc};\n    return p->v;\n}}",
-                inc = rng.gen_range(1..5)
+                inc = rng.gen_range(1, 5)
             );
             calls.push(format!("acc = acc + work{f}((void*) root{s});"));
         } else {
@@ -78,12 +77,12 @@ pub fn generate(seed: u64, cfg: GenConfig) -> String {
             let body = if deref_peer {
                 format!(
                     "    if (p == null) {{ return 0; }}\n    if (p->peer != null) {{ p->peer->v = p->peer->v + 1; }}\n    p->v = p->v + {};\n    return p->v;",
-                    rng.gen_range(1..5)
+                    rng.gen_range(1, 5)
                 )
             } else {
                 format!(
                     "    if (p == null) {{ return 0; }}\n    p->v = p->v * {} + 1;\n    return p->v;",
-                    rng.gen_range(2..4)
+                    rng.gen_range(2, 4)
                 )
             };
             let _ = writeln!(src, "long work{f}(struct s{s}* p) {{\n{body}\n}}");

@@ -15,8 +15,8 @@ fn overhead_ordering_and_profile() {
         .into_iter()
         .find(|w| w.name == "lbm")
         .unwrap();
-    let h = measure(&heavy);
-    let l = measure(&light);
+    let h = measure(&heavy).expect("omnetpp proxy runs cleanly");
+    let l = measure(&light).expect("lbm proxy runs cleanly");
     // [0]=STWC, [1]=STC, [2]=STL
     assert!(h.overhead_pct[1] <= h.overhead_pct[0] + 1e-9, "{h:?}");
     assert!(h.overhead_pct[0] <= h.overhead_pct[2] + 1e-9, "{h:?}");
@@ -92,7 +92,7 @@ fn sites_correlate_with_overhead_in_miniature() {
             .into_iter()
             .find(|w| w.name == name)
             .unwrap();
-        rows.push(measure(&w));
+        rows.push(measure(&w).expect("proxy runs cleanly"));
     }
     // lbm < hmmer < omnetpp in both sites and overhead.
     assert!(rows[0].instrumented_sites <= rows[1].instrumented_sites);

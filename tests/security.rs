@@ -68,8 +68,7 @@ fn signed_pointers_do_not_transfer_across_key_banks() {
 
     // Process 2: fresh random keys; replay the captured value.
     let mut img2 = Image::from_instrumented(&prog);
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = rsti_rng::Rng64::seed_from_u64(99);
     img2.keys = rsti_pac::PacKeys::random(&mut rng);
     let mut vm2 = Vm::new(&img2);
     assert_eq!(vm2.run_to_function("fire"), RunStop::Entered);
