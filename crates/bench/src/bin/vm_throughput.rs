@@ -64,24 +64,53 @@ fn run_mix(repeats: u32) -> MixResult {
 }
 
 fn main() {
-    // Warm up caches/allocator, then measure.
+    // Warm up caches/allocator, then measure. The telemetry-disabled mix
+    // is the default state and the one the trajectory tracks; the same
+    // mix with the collector enabled (no sink) measures the cost of live
+    // counting and pins the off-by-default guarantee — the disabled path
+    // adds only branch-on-bool no-ops. The two states alternate round by
+    // round so slow machine drift cancels out of the comparison instead
+    // of landing entirely on one side.
+    let tel = rsti_telemetry::global();
+    tel.disable();
     run_mix(1);
-    let m = run_mix(3);
+    let mut m = MixResult { insts: 0, cycles: 0, secs: 0.0 };
+    let mut t = MixResult { insts: 0, cycles: 0, secs: 0.0 };
+    for _ in 0..6 {
+        tel.disable();
+        let r = run_mix(1);
+        m.insts += r.insts;
+        m.cycles += r.cycles;
+        m.secs += r.secs;
+        tel.enable();
+        let r = run_mix(1);
+        t.insts += r.insts;
+        t.cycles += r.cycles;
+        t.secs += r.secs;
+    }
+    tel.disable();
+    tel.reset();
     let ips = m.insts as f64 / m.secs;
     let speedup = ips / PRE_CHANGE_INSTS_PER_SEC;
+    let ips_on = t.insts as f64 / t.secs;
+    let on_delta_pct = (ips / ips_on - 1.0) * 100.0;
+
     println!("vm_throughput: nbench + NGINX mix, baseline + STWC");
     println!("  instructions executed : {}", m.insts);
     println!("  wall time             : {:.3} s", m.secs);
     println!("  instructions/second   : {:.0}", ips);
     println!("  cycle-model total     : {}", m.cycles);
     println!("  pre-change insts/sec  : {:.0}  (x{:.2})", PRE_CHANGE_INSTS_PER_SEC, speedup);
+    println!("  telemetry-on insts/s  : {:.0}  (enabled costs {:+.2}%)", ips_on, on_delta_pct);
 
     // Hand-rolled JSON (the workspace is dependency-free by design).
     let json = format!(
         "{{\n  \"bench\": \"vm_throughput\",\n  \"workload_mix\": \"nbench+nginx, baseline+stwc\",\n  \
          \"pre_change_insts_per_sec\": {PRE_CHANGE_INSTS_PER_SEC:.0},\n  \
          \"insts_per_sec\": {ips:.0},\n  \"speedup_vs_pre_change\": {speedup:.3},\n  \
-         \"instructions\": {},\n  \"cycle_model_total\": {},\n  \"wall_seconds\": {:.4}\n}}\n",
+         \"instructions\": {},\n  \"cycle_model_total\": {},\n  \"wall_seconds\": {:.4},\n  \
+         \"telemetry_on_insts_per_sec\": {ips_on:.0},\n  \
+         \"telemetry_enabled_cost_pct\": {on_delta_pct:.2}\n}}\n",
         m.insts, m.cycles, m.secs
     );
     std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");

@@ -54,16 +54,23 @@ pub struct OverheadRow {
     /// Instrumented pointer load/store sites under STWC (for the
     /// correlation analysis of §6.3.2).
     pub instrumented_sites: usize,
+    /// Dynamic `pac` (sign) operations executed under `[STWC, STC, STL]`.
+    /// Taken from the run's own [`rsti_vm::ExecResult`] — a deterministic
+    /// per-row value, independent of the global telemetry collector, so
+    /// parallel sweeps aggregate exactly the totals serial sweeps do.
+    pub pac_signs: [u64; 3],
+    /// Dynamic `aut` operations executed under `[STWC, STC, STL]`.
+    pub pac_auths: [u64; 3],
 }
 
-fn run_cycles(img: &Image, workload: &str) -> Result<u64, MeasureError> {
+fn run_measured(img: &Image, workload: &str) -> Result<rsti_vm::ExecResult, MeasureError> {
     let mut vm = Vm::new(img);
     vm.set_fuel(200_000_000);
     let r = vm.run();
     if !matches!(r.status, Status::Exited(0)) {
         return Err(MeasureError { workload: workload.to_string(), status: r.status });
     }
-    Ok(r.cycles)
+    Ok(r)
 }
 
 /// Measures one workload under the baseline and all three mechanisms.
@@ -80,19 +87,23 @@ pub fn measure(w: &Workload) -> Result<OverheadRow, MeasureError> {
     rsti_core::inline_leaf_functions(&mut m, 96);
     let mut mb = m.clone();
     rsti_core::optimize_baseline(&mut mb);
-    let base = run_cycles(&Image::baseline_owned(mb), w.name)?;
+    let base = run_measured(&Image::baseline_owned(mb), w.name)?.cycles;
     let mut cycles = [0u64; 3];
     let mut pct = [0f64; 3];
     let mut sites = 0;
+    let mut pac_signs = [0u64; 3];
+    let mut pac_auths = [0u64; 3];
     for (i, mech) in MECHS.iter().enumerate() {
         let mut p = rsti_core::instrument(&m, *mech);
         rsti_core::optimize_program(&mut p);
         if *mech == Mechanism::Stwc {
             sites = p.stats.signs_on_store + p.stats.auths_on_load;
         }
-        let c = run_cycles(&Image::from_instrumented_owned(p), w.name)?;
-        cycles[i] = c;
-        pct[i] = (c as f64 / base as f64 - 1.0) * 100.0;
+        let r = run_measured(&Image::from_instrumented_owned(p), w.name)?;
+        cycles[i] = r.cycles;
+        pct[i] = (r.cycles as f64 / base as f64 - 1.0) * 100.0;
+        pac_signs[i] = r.pac_signs;
+        pac_auths[i] = r.pac_auths;
     }
     Ok(OverheadRow {
         name: w.name.to_string(),
@@ -101,6 +112,8 @@ pub fn measure(w: &Workload) -> Result<OverheadRow, MeasureError> {
         cycles,
         overhead_pct: pct,
         instrumented_sites: sites,
+        pac_signs,
+        pac_auths,
     })
 }
 
@@ -327,8 +340,8 @@ mod tests {
 
     /// The Fig. 9/10 acceptance property of the parallel harness: fanning
     /// a sweep out over threads changes *nothing* about the reported rows
-    /// — names, cycle counts, percentages, and site counts are identical
-    /// to the serial sweep, element for element.
+    /// — names, cycle counts, percentages, site counts, and dynamic check
+    /// counts are identical to the serial sweep, element for element.
     #[test]
     fn parallel_suite_matches_serial() {
         let ws: Vec<_> =
@@ -337,6 +350,23 @@ mod tests {
         let parallel = measure_suite_with_threads(&ws, 4).expect("suite runs cleanly");
         assert_eq!(serial.len(), ws.len());
         assert_eq!(serial, parallel);
+        // The aggregated dynamic-check totals — what the report columns
+        // sum — are identical too, and non-trivial.
+        let totals = |rows: &[OverheadRow]| {
+            rows.iter().fold(([0u64; 3], [0u64; 3]), |(mut s, mut a), r| {
+                for i in 0..3 {
+                    s[i] += r.pac_signs[i];
+                    a[i] += r.pac_auths[i];
+                }
+                (s, a)
+            })
+        };
+        let (s_signs, s_auths) = totals(&serial);
+        let (p_signs, p_auths) = totals(&parallel);
+        assert_eq!(s_signs, p_signs);
+        assert_eq!(s_auths, p_auths);
+        assert!(s_signs.iter().all(|&n| n > 0), "{s_signs:?}");
+        assert!(s_auths.iter().all(|&n| n > 0), "{s_auths:?}");
     }
 
     #[test]

@@ -75,18 +75,20 @@ impl Fig9 {
              emulates). Columns: RSTI-STWC / RSTI-STC / RSTI-STL.\n\n",
         );
         out.push_str(&format!(
-            "{:<20} {:>10} {:>10} {:>10}   {:>8}\n",
-            "SPEC CPU2017", "STWC%", "STC%", "STL%", "sites"
+            "{:<20} {:>10} {:>10} {:>10}   {:>8} {:>10} {:>10} {:>10}\n",
+            "SPEC CPU2017", "STWC%", "STC%", "STL%", "sites", "base", "signs", "auths"
         ));
         for r in &self.spec2017 {
             out.push_str(&format!(
-                "{:<20} {:>10.2} {:>10.2} {:>10.2}   {:>8} {:>10}\n",
+                "{:<20} {:>10.2} {:>10.2} {:>10.2}   {:>8} {:>10} {:>10} {:>10}\n",
                 r.name,
                 r.overhead_pct[0],
                 r.overhead_pct[1],
                 r.overhead_pct[2],
                 r.instrumented_sites,
-                r.base_cycles
+                r.base_cycles,
+                r.pac_signs[0],
+                r.pac_auths[0],
             ));
         }
         fn push_geo(out: &mut String, label: &str, rows: &[OverheadRow]) {
@@ -111,6 +113,21 @@ impl Fig9 {
         out.push_str(&format!(
             "\nPearson(instrumented load/stores, STWC overhead) = {:.2}  (paper: 0.75-0.8)\n",
             pearson(&xs, &ys)
+        ));
+
+        // Dynamic check totals per mechanism (telemetry columns).
+        let mut signs = [0u64; 3];
+        let mut auths = [0u64; 3];
+        for r in &all {
+            for i in 0..3 {
+                signs[i] += r.pac_signs[i];
+                auths[i] += r.pac_auths[i];
+            }
+        }
+        out.push_str(&format!(
+            "\nDynamic checks (all suites): \
+             STWC {} signs / {} auths;  STC {} signs / {} auths;  STL {} signs / {} auths\n",
+            signs[0], auths[0], signs[1], auths[1], signs[2], auths[2]
         ));
         out
     }

@@ -5,33 +5,84 @@
 //! ```text
 //! rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive]
 //!                    [--backend pac|mac] [--optimize] [--stats]
+//!                    [--trace out.jsonl]
+//! rsti profile <file.mc> [--mech ...] [--optimize] [--trace out.jsonl]
 //! rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
 //! rsti instrument <file.mc> [--mech ...]        # dump instrumented IR
 //! rsti equivalence <file.mc>                    # Table 3 row for a file
 //! ```
+//!
+//! `--trace <path>` (or the `RSTI_TRACE` env var) turns the global
+//! telemetry collector on and streams JSONL events — phase spans, counter
+//! deltas, violation audit records, end-of-run summaries — to the path.
+//! `profile` always collects and prints the per-phase wall-time and
+//! counter tables.
 //!
 //! The command logic lives here (testable); `main.rs` only forwards
 //! `std::env::args`.
 
 #![warn(missing_docs)]
 
-use rsti_core::Mechanism;
-use rsti_vm::{Image, Status, Vm};
+use rsti_core::{InstrumentStats, Mechanism};
+use rsti_vm::{ExecResult, Image, Status, Vm};
 use std::fmt::Write as _;
 
-/// Parses a mechanism name (`none` → `None`).
+/// What `--mech` selects: an uninstrumented baseline, one fixed
+/// mechanism, or the §7 adaptive hardening (STWC plus location-binding
+/// for oversized classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MechChoice {
+    /// No instrumentation.
+    Baseline,
+    /// One fixed mechanism.
+    Fixed(Mechanism),
+    /// Adaptive hardening on top of STWC.
+    Adaptive,
+}
+
+impl MechChoice {
+    /// Display label for headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            MechChoice::Baseline => "baseline",
+            MechChoice::Fixed(m) => m.name(),
+            MechChoice::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Parses every mechanism name the usage string lists (plus the
+/// `rsti-*` long forms), including `adaptive`.
+///
+/// # Errors
+/// Returns a message for unknown names.
+pub fn parse_mech_choice(s: &str) -> Result<MechChoice, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "stwc" | "rsti-stwc" => MechChoice::Fixed(Mechanism::Stwc),
+        "stc" | "rsti-stc" => MechChoice::Fixed(Mechanism::Stc),
+        "stl" | "rsti-stl" => MechChoice::Fixed(Mechanism::Stl),
+        "parts" => MechChoice::Fixed(Mechanism::Parts),
+        "none" | "baseline" => MechChoice::Baseline,
+        "adaptive" => MechChoice::Adaptive,
+        other => {
+            return Err(format!(
+                "unknown mechanism `{other}` (stwc|stc|stl|parts|none|adaptive)"
+            ))
+        }
+    })
+}
+
+/// Parses a mechanism name (`none` → `None`). `adaptive` maps to its base
+/// mechanism, STWC; use [`parse_mech_choice`] to distinguish it.
 ///
 /// # Errors
 /// Returns a message for unknown names.
 pub fn parse_mechanism(s: &str) -> Result<Option<Mechanism>, String> {
-    Ok(Some(match s.to_ascii_lowercase().as_str() {
-        "stwc" | "rsti-stwc" => Mechanism::Stwc,
-        "stc" | "rsti-stc" => Mechanism::Stc,
-        "stl" | "rsti-stl" => Mechanism::Stl,
-        "parts" => Mechanism::Parts,
-        "none" | "baseline" => return Ok(None),
-        other => return Err(format!("unknown mechanism `{other}` (stwc|stc|stl|parts|none)")),
-    }))
+    Ok(match parse_mech_choice(s)? {
+        MechChoice::Baseline => None,
+        MechChoice::Fixed(m) => Some(m),
+        MechChoice::Adaptive => Some(Mechanism::Stwc),
+    })
 }
 
 /// Runs the CLI; returns (exit code, output text).
@@ -44,11 +95,18 @@ pub fn run_cli(args: &[String]) -> (i32, String) {
 
 const USAGE: &str = "\
 usage:
-  rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac] [--optimize] [--stats]
+  rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac] [--optimize] [--stats] [--trace out.jsonl]
+  rsti profile <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--optimize] [--trace out.jsonl]
   rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
   rsti instrument <file.mc> [--mech stwc|stc|stl|parts]
   rsti equivalence <file.mc>
+
+  RSTI_TRACE=<path> in the environment is equivalent to --trace <path>.
 ";
+
+/// Mechanism names the usage string offers for `--mech` (kept in sync by
+/// a unit test).
+pub const USAGE_MECHS: [&str; 6] = ["stwc", "stc", "stl", "parts", "none", "adaptive"];
 
 fn read_source(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
@@ -61,50 +119,84 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
+/// Instruments (or not) per the mechanism choice and builds the image.
+fn build_image(
+    module: &rsti_ir::Module,
+    choice: MechChoice,
+    optimize: bool,
+) -> (Image, Option<InstrumentStats>) {
+    let instrumented = match choice {
+        MechChoice::Baseline => return (Image::baseline(module), None),
+        MechChoice::Adaptive => {
+            rsti_core::instrument_adaptive(module, rsti_core::DEFAULT_ECV_THRESHOLD)
+        }
+        MechChoice::Fixed(m) => rsti_core::instrument(module, m),
+    };
+    let mut p = instrumented;
+    if optimize {
+        rsti_core::optimize_program(&mut p);
+    }
+    let stats = p.stats;
+    (Image::from_instrumented(&p), Some(stats))
+}
+
+fn apply_backend(img: Image, args: &[String]) -> Result<Image, String> {
+    match flag_value(args, "--backend") {
+        Some("mac") => Ok(img.with_backend(rsti_vm::Backend::MacTable)),
+        Some("pac") | None => Ok(img),
+        Some(other) => Err(format!("unknown backend `{other}` (pac|mac)")),
+    }
+}
+
+fn render_audit(out: &mut String, r: &ExecResult) {
+    for rec in &r.audit {
+        let _ = writeln!(
+            out,
+            "violation: {} {} at {} in {}:{} (modifier {:#018x}): {}",
+            rec.mechanism, rec.inst, rec.site, rec.func, rec.line, rec.modifier, rec.detail
+        );
+    }
+}
+
 fn dispatch(args: &[String]) -> Result<String, String> {
     let cmd = args.first().ok_or("missing command")?;
     let file = args.get(1).ok_or("missing <file.mc>")?;
+
+    // Telemetry setup precedes compilation so the parse/lower spans of
+    // this very invocation land in the snapshot.
+    let tel = rsti_telemetry::global();
+    let profiling = cmd == "profile";
+    if profiling {
+        tel.reset();
+        tel.enable();
+    }
+    let tracing = if let Some(path) = flag_value(args, "--trace") {
+        tel.enable();
+        tel.set_sink_path(path)
+            .map_err(|e| format!("cannot open trace file `{path}`: {e}"))?;
+        true
+    } else {
+        tel.init_from_env()
+    };
+
     let src = read_source(file)?;
     let module = rsti_frontend::compile(&src, file).map_err(|e| e.to_string())?;
-    let mech = match flag_value(args, "--mech") {
-        Some("adaptive") => Some(Mechanism::Stwc), // refined in `run`
-        Some(s) => parse_mechanism(s)?,
-        None => Some(Mechanism::Stwc),
+    let choice = match flag_value(args, "--mech") {
+        Some(s) => parse_mech_choice(s)?,
+        None => MechChoice::Fixed(Mechanism::Stwc),
+    };
+    let mech = match choice {
+        MechChoice::Baseline => None,
+        MechChoice::Fixed(m) => Some(m),
+        MechChoice::Adaptive => Some(Mechanism::Stwc),
     };
 
     match cmd.as_str() {
         "run" => {
             let mut out = String::new();
-            let adaptive = flag_value(args, "--mech") == Some("adaptive");
             let optimize = args.iter().any(|a| a == "--optimize");
-            let (img, stats) = if adaptive {
-                let mut p =
-                    rsti_core::instrument_adaptive(&module, rsti_core::DEFAULT_ECV_THRESHOLD);
-                if optimize {
-                    rsti_core::optimize_program(&mut p);
-                }
-                let stats = p.stats;
-                (Image::from_instrumented(&p), Some(stats))
-            } else {
-                match mech {
-                    None => (Image::baseline(&module), None),
-                    Some(m) => {
-                        let mut p = rsti_core::instrument(&module, m);
-                        if optimize {
-                            rsti_core::optimize_program(&mut p);
-                        }
-                        let stats = p.stats;
-                        (Image::from_instrumented(&p), Some(stats))
-                    }
-                }
-            };
-            let img = match flag_value(args, "--backend") {
-                Some("mac") => img.with_backend(rsti_vm::Backend::MacTable),
-                Some("pac") | None => img,
-                Some(other) => {
-                    return Err(format!("unknown backend `{other}` (pac|mac)"))
-                }
-            };
+            let (img, stats) = build_image(&module, choice, optimize);
+            let img = apply_backend(img, args)?;
             let mut vm = Vm::new(&img);
             let r = vm.run();
             for line in &r.output {
@@ -114,6 +206,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
                 let _ = writeln!(out, "[extern{}] {}({})",
                     if e.critical { "!" } else { "" }, e.name, e.args.join(", "));
             }
+            render_audit(&mut out, &r);
             match &r.status {
                 Status::Exited(c) => {
                     let _ = writeln!(out, "exit: {c}");
@@ -136,7 +229,36 @@ fn dispatch(args: &[String]) -> Result<String, String> {
                         s.arg_resigns, s.strips, s.pp_signs
                     );
                 }
+                // With tracing explicitly requested, --stats prints the
+                // full collector snapshot (the `run --trace --stats`
+                // contract; gated on the flag, not on ambient collector
+                // state, so parallel in-process callers stay independent).
+                if tracing {
+                    let _ = writeln!(out);
+                    out.push_str(&tel.snapshot().render_tables());
+                }
             }
+            Ok(out)
+        }
+        "profile" => {
+            let optimize = args.iter().any(|a| a == "--optimize");
+            let (img, _stats) = build_image(&module, choice, optimize);
+            let img = apply_backend(img, args)?;
+            let mut vm = Vm::new(&img);
+            let r = vm.run();
+            let mut out = String::new();
+            let _ = writeln!(out, "profile: {file} (mech {})", choice.label());
+            match &r.status {
+                Status::Exited(c) => {
+                    let _ = writeln!(out, "status: exit {c}");
+                }
+                Status::Trapped(t) => {
+                    let _ = writeln!(out, "status: trap {t}");
+                }
+            }
+            render_audit(&mut out, &r);
+            let _ = writeln!(out);
+            out.push_str(&tel.snapshot().render_tables());
             Ok(out)
         }
         "analyze" => {
@@ -306,6 +428,108 @@ mod tests {
     fn mechanism_parsing() {
         assert_eq!(parse_mechanism("stwc").unwrap(), Some(Mechanism::Stwc));
         assert_eq!(parse_mechanism("NONE").unwrap(), None);
+        assert_eq!(parse_mechanism("adaptive").unwrap(), Some(Mechanism::Stwc));
         assert!(parse_mechanism("xyz").is_err());
+    }
+
+    #[test]
+    fn every_usage_listed_mechanism_parses() {
+        // The usage string and the parser must not drift: every name the
+        // help offers is accepted, and each maps to the expected choice.
+        for name in USAGE_MECHS {
+            assert!(USAGE.contains(name), "usage lists `{name}`");
+            let c = parse_mech_choice(name).unwrap_or_else(|e| panic!("`{name}`: {e}"));
+            match name {
+                "none" => assert_eq!(c, MechChoice::Baseline),
+                "adaptive" => assert_eq!(c, MechChoice::Adaptive),
+                "stwc" => assert_eq!(c, MechChoice::Fixed(Mechanism::Stwc)),
+                "stc" => assert_eq!(c, MechChoice::Fixed(Mechanism::Stc)),
+                "stl" => assert_eq!(c, MechChoice::Fixed(Mechanism::Stl)),
+                "parts" => assert_eq!(c, MechChoice::Fixed(Mechanism::Parts)),
+                other => panic!("untested usage mechanism `{other}`"),
+            }
+        }
+        // Long forms and the baseline alias keep working too.
+        for (long, short) in [("rsti-stwc", "stwc"), ("rsti-stc", "stc"), ("rsti-stl", "stl")] {
+            assert_eq!(parse_mech_choice(long).unwrap(), parse_mech_choice(short).unwrap());
+        }
+        assert_eq!(parse_mech_choice("baseline").unwrap(), MechChoice::Baseline);
+    }
+
+    #[test]
+    fn profile_prints_phase_and_counter_tables() {
+        let f = write_temp("rsti_cli_prof.mc", PROG);
+        let (code, out) = run_cli(&["profile".into(), f, "--mech".into(), "stwc".into()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("status: exit 0"), "{out}");
+        // Per-phase wall-time table: the run's own phases must appear.
+        assert!(out.contains("phase"), "{out}");
+        for phase in ["parse", "lower", "collect_facts", "analyze", "instrument", "vm_run"] {
+            assert!(out.contains(phase), "missing phase `{phase}`: {out}");
+        }
+        // Per-mechanism check counters.
+        assert!(out.contains("signs_inserted"), "{out}");
+        assert!(out.contains("auths_inserted"), "{out}");
+        assert!(out.contains("classes_stwc"), "{out}");
+        assert!(out.contains("vm_pac_signs"), "{out}");
+    }
+
+    #[test]
+    fn run_trace_emits_valid_jsonl_and_snapshot() {
+        let f = write_temp("rsti_cli_trace.mc", PROG);
+        let trace = std::env::temp_dir().join("rsti_cli_trace.jsonl");
+        let trace_s = trace.to_string_lossy().into_owned();
+        let (code, out) = run_cli(&[
+            "run".into(),
+            f,
+            "--trace".into(),
+            trace_s,
+            "--stats".into(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        // --trace --stats adds the full snapshot tables.
+        assert!(out.contains("counter"), "{out}");
+        let body = std::fs::read_to_string(&trace).unwrap();
+        assert!(!body.trim().is_empty(), "trace file has events");
+        for line in body.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "JSONL line shape: {line}"
+            );
+            assert!(line.contains("\"type\":\""), "typed event: {line}");
+        }
+        assert!(body.contains("\"type\":\"run_end\""), "{body}");
+    }
+
+    #[test]
+    fn run_reports_violation_audit_record() {
+        // An injected STWC violation must surface the structured audit
+        // line naming mechanism, site, and faulting instruction.
+        let src = r#"
+            void benign() { }
+            void evil() { print_str("EVIL"); }
+            struct ctx { void (*cb)(); };
+            struct ctx* g_ctx;
+            void dispatch() { g_ctx->cb(); }
+            int main() {
+                g_ctx = (struct ctx*) malloc(sizeof(struct ctx));
+                g_ctx->cb = benign;
+                dispatch();
+                return 0;
+            }
+        "#;
+        let m = rsti_frontend::compile(src, "t").unwrap();
+        let p = rsti_core::instrument(&m, Mechanism::Stwc);
+        let img = Image::from_instrumented(&p);
+        let mut vm = Vm::new(&img);
+        assert_eq!(vm.run_to_function("dispatch"), rsti_vm::RunStop::Entered);
+        let obj = vm.heap_live()[0].0;
+        let evil = vm.func_addr("evil").unwrap();
+        vm.attacker_write_u64(obj, evil).unwrap();
+        let r = vm.finish();
+        let mut out = String::new();
+        render_audit(&mut out, &r);
+        assert!(out.contains("violation: RSTI-STWC pac_auth at on_load in dispatch"), "{out}");
+        assert!(out.contains("modifier 0x"), "{out}");
     }
 }

@@ -173,6 +173,8 @@ fn finish_instrument(
     pp_plan: PpPlan,
     loc_policy: LocPolicy,
 ) -> InstrumentedProgram {
+    let tel = rsti_telemetry::global();
+    let _span = tel.span(rsti_telemetry::Phase::Instrument);
     let mut out = m.clone();
     let mut stats = InstrumentStats::default();
 
@@ -212,6 +214,14 @@ fn finish_instrument(
         "instrumentation produced ill-formed IR: {:#?}",
         rsti_ir::verify_module(&out).err()
     );
+
+    use rsti_telemetry::CounterId;
+    tel.add(CounterId::SignsInserted, (stats.signs_on_store + stats.cast_resigns
+        + stats.arg_resigns + stats.pp_signs) as u64);
+    tel.add(CounterId::AuthsInserted, (stats.auths_on_load + stats.cast_resigns
+        + stats.arg_resigns + stats.pp_auths) as u64);
+    tel.add(CounterId::StripsInserted, stats.strips as u64);
+    tel.add(CounterId::PpSitesInserted, (stats.pp_signs + stats.pp_auths) as u64);
 
     InstrumentedProgram { module: out, mechanism, analysis, pp_plan, stats, global_signing }
 }

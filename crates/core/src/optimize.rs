@@ -271,7 +271,7 @@ fn promote_in_function(types: &rsti_ir::TypeTable, f: &mut rsti_ir::Function) ->
     // shift the recorded positions of slots processed later.
     let mut order: Vec<(ValueId, usize)> =
         rewrite.iter().map(|(&v, &(_, i))| (v, i)).collect();
-    order.sort_by(|a, b| b.1.cmp(&a.1));
+    order.sort_by_key(|e| std::cmp::Reverse(e.1));
     for (slot, store_idx) in order {
         // Find one auth template + the load type.
         let mut load_ty = None;
@@ -380,6 +380,8 @@ fn promote_in_function(types: &rsti_ir::TypeTable, f: &mut rsti_ir::Function) ->
 /// The full optimization pipeline over an instrumented module. Returns
 /// the number of removed/promoted authentication sites.
 pub fn optimize_program(p: &mut crate::instrument::InstrumentedProgram) -> usize {
+    let tel = rsti_telemetry::global();
+    let _span = tel.span(rsti_telemetry::Phase::Optimize);
     let a = promote_single_store_slots(&mut p.module);
     let b = elide_redundant_auths(&mut p.module);
     patch_placeholder_types(&mut p.module);
@@ -388,6 +390,7 @@ pub fn optimize_program(p: &mut crate::instrument::InstrumentedProgram) -> usize
         "{:?}",
         rsti_ir::verify_module(&p.module).err()
     );
+    tel.add(rsti_telemetry::CounterId::AuthsElided, (a + b) as u64);
     a + b
 }
 
@@ -399,104 +402,6 @@ pub fn optimize_baseline(m: &mut Module) -> usize {
     patch_placeholder_types(m);
     debug_assert!(rsti_ir::verify_module(m).is_ok());
     a + b
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::instrument::instrument;
-    use crate::sti::Mechanism;
-    use rsti_frontend::compile;
-
-    const REPEATY: &str = r#"
-        struct s { long a; long b; };
-        int main() {
-            struct s* p = (struct s*) malloc(sizeof(struct s));
-            // Three reads of `p` in a row: two re-auths are redundant.
-            p->a = 1;
-            long x = p->a + p->b;
-            long y = p->b + p->a;
-            return (int) (x + y);
-        }
-    "#;
-
-    #[test]
-    fn elides_some_auths_and_stays_well_formed() {
-        let m = compile(REPEATY, "t").unwrap();
-        let mut p = instrument(&m, Mechanism::Stwc);
-        let before = count_auths(&p.module);
-        let elided = optimize_program(&mut p);
-        let after = count_auths(&p.module);
-        assert!(elided > 0, "expected redundancy in {REPEATY}");
-        assert!(after < before, "auths must shrink: {before} -> {after}");
-        rsti_ir::verify_module(&p.module).unwrap();
-    }
-
-    #[test]
-    fn stores_invalidate_the_cache() {
-        let src = r#"
-            int main() {
-                int* p = (int*) malloc(4);
-                int* q = p;      // load p (auth), store q
-                *q = 5;
-                int* r = p;      // p reloaded AFTER a store: must re-auth
-                return *r;
-            }
-        "#;
-        let m = compile(src, "t").unwrap();
-        let mut p = instrument(&m, Mechanism::Stwc);
-        optimize_program(&mut p);
-        // Behaviour must be unchanged.
-        rsti_ir::verify_module(&p.module).unwrap();
-    }
-
-    #[test]
-    fn inliner_splices_leaf_calls() {
-        let src = r#"
-            long square(long x) { return x * x; }
-            long twice(long x) { return x + x; }
-            int main() {
-                long acc = 0;
-                for (int i = 0; i < 4; i = i + 1) {
-                    acc = acc + square(i) + twice(i);
-                }
-                print_int(acc);
-                return (int) acc;
-            }
-        "#;
-        let mut m = compile(src, "t").unwrap();
-        let n = inline_leaf_functions(&mut m, 32);
-        assert_eq!(n, 2, "both leaf calls inlined");
-        let main = m.func_by_name("main").unwrap();
-        assert!(
-            m.func(main)
-                .insts()
-                .all(|node| !matches!(node.inst, Inst::Call { .. })),
-            "no direct calls remain in main"
-        );
-        rsti_ir::verify_module(&m).unwrap();
-    }
-
-    #[test]
-    fn inliner_skips_recursion_and_big_functions() {
-        let src = r#"
-            long fact(long n) {
-                if (n <= 1) { return 1; }
-                return n * fact(n - 1);
-            }
-            int main() { return (int) fact(5); }
-        "#;
-        let mut m = compile(src, "t").unwrap();
-        assert_eq!(inline_leaf_functions(&mut m, 32), 0, "recursive callee kept");
-    }
-
-    fn count_auths(m: &rsti_ir::Module) -> usize {
-        m.funcs
-            .iter()
-            .flat_map(|f| f.insts())
-            .filter(|n| matches!(n.inst, rsti_ir::Inst::PacAuth { .. }))
-            .count()
-    }
 }
 
 /// Leaf-function inlining — the LTO/O2 component of the paper's pipeline
@@ -729,5 +634,103 @@ fn remap_inst(
         Inst::Call { .. } | Inst::CallIndirect { .. } => {
             unreachable!("leaf callee contains a call")
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::instrument;
+    use crate::sti::Mechanism;
+    use rsti_frontend::compile;
+
+    const REPEATY: &str = r#"
+        struct s { long a; long b; };
+        int main() {
+            struct s* p = (struct s*) malloc(sizeof(struct s));
+            // Three reads of `p` in a row: two re-auths are redundant.
+            p->a = 1;
+            long x = p->a + p->b;
+            long y = p->b + p->a;
+            return (int) (x + y);
+        }
+    "#;
+
+    #[test]
+    fn elides_some_auths_and_stays_well_formed() {
+        let m = compile(REPEATY, "t").unwrap();
+        let mut p = instrument(&m, Mechanism::Stwc);
+        let before = count_auths(&p.module);
+        let elided = optimize_program(&mut p);
+        let after = count_auths(&p.module);
+        assert!(elided > 0, "expected redundancy in {REPEATY}");
+        assert!(after < before, "auths must shrink: {before} -> {after}");
+        rsti_ir::verify_module(&p.module).unwrap();
+    }
+
+    #[test]
+    fn stores_invalidate_the_cache() {
+        let src = r#"
+            int main() {
+                int* p = (int*) malloc(4);
+                int* q = p;      // load p (auth), store q
+                *q = 5;
+                int* r = p;      // p reloaded AFTER a store: must re-auth
+                return *r;
+            }
+        "#;
+        let m = compile(src, "t").unwrap();
+        let mut p = instrument(&m, Mechanism::Stwc);
+        optimize_program(&mut p);
+        // Behaviour must be unchanged.
+        rsti_ir::verify_module(&p.module).unwrap();
+    }
+
+    #[test]
+    fn inliner_splices_leaf_calls() {
+        let src = r#"
+            long square(long x) { return x * x; }
+            long twice(long x) { return x + x; }
+            int main() {
+                long acc = 0;
+                for (int i = 0; i < 4; i = i + 1) {
+                    acc = acc + square(i) + twice(i);
+                }
+                print_int(acc);
+                return (int) acc;
+            }
+        "#;
+        let mut m = compile(src, "t").unwrap();
+        let n = inline_leaf_functions(&mut m, 32);
+        assert_eq!(n, 2, "both leaf calls inlined");
+        let main = m.func_by_name("main").unwrap();
+        assert!(
+            m.func(main)
+                .insts()
+                .all(|node| !matches!(node.inst, Inst::Call { .. })),
+            "no direct calls remain in main"
+        );
+        rsti_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn inliner_skips_recursion_and_big_functions() {
+        let src = r#"
+            long fact(long n) {
+                if (n <= 1) { return 1; }
+                return n * fact(n - 1);
+            }
+            int main() { return (int) fact(5); }
+        "#;
+        let mut m = compile(src, "t").unwrap();
+        assert_eq!(inline_leaf_functions(&mut m, 32), 0, "recursive callee kept");
+    }
+
+    fn count_auths(m: &rsti_ir::Module) -> usize {
+        m.funcs
+            .iter()
+            .flat_map(|f| f.insts())
+            .filter(|n| matches!(n.inst, rsti_ir::Inst::PacAuth { .. }))
+            .count()
     }
 }

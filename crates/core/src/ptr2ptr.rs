@@ -85,10 +85,8 @@ pub fn plan_pp(m: &Module, analysis: &StiAnalysis) -> PpPlan {
         let defs = DefMap::new(f);
         for node in f.insts() {
             match &node.inst {
-                Inst::Load { ty, .. } => {
-                    if ptr_depth(m, *ty) >= 2 {
-                        plan.census.total_sites += 1;
-                    }
+                Inst::Load { ty, .. } if ptr_depth(m, *ty) >= 2 => {
+                    plan.census.total_sites += 1;
                 }
                 Inst::Call { callee, args, .. } => {
                     let callee_f = m.func(*callee);
@@ -112,7 +110,7 @@ pub fn plan_pp(m: &Module, analysis: &StiAnalysis) -> PpPlan {
                             let ce = next_ce;
                             // 8 bits: at most 255 distinct lost types
                             // (§4.7.7 "only 256 types can be used").
-                            next_ce = next_ce.checked_add(1).unwrap_or(255);
+                            next_ce = next_ce.saturating_add(1);
                             ce
                         });
                         // FE = the modifier of the anonymous storage class

@@ -205,10 +205,12 @@ fn root_of_value_id(
             Operand::Value(b) => root_of_value_id(m, f, defs, *b, casted, depth + 1),
             _ => ValueRoot { key: None, root_ty: None, casted, is_address: false },
         },
-        Inst::IndexAddr { base, .. } => match base {
-            Operand::Value(b) => root_of_value_id(m, f, defs, *b, casted, depth + 1),
-            _ => ValueRoot { key: None, root_ty: None, casted, is_address: false },
-        },
+        Inst::IndexAddr { base: Operand::Value(b), .. } => {
+            root_of_value_id(m, f, defs, *b, casted, depth + 1)
+        }
+        Inst::IndexAddr { .. } => {
+            ValueRoot { key: None, root_ty: None, casted, is_address: false }
+        }
         // &local, &global, &field: the value *is* the address of that
         // storage — root it there so `&p` passed around links p's class.
         Inst::Alloca { var: Some(var), .. } => ValueRoot {

@@ -35,7 +35,12 @@ use std::collections::HashMap;
 /// # Errors
 /// Returns the first lexical, syntactic, or semantic error.
 pub fn compile(src: &str, name: &str) -> Result<Module, CompileError> {
-    let items = parse(src)?;
+    let tel = rsti_telemetry::global();
+    let items = {
+        let _span = tel.span(rsti_telemetry::Phase::Parse);
+        parse(src)?
+    };
+    let _span = tel.span(rsti_telemetry::Phase::Lower);
     let mut lower = Lower::new(name);
     lower.run(&items)?;
     debug_assert!(

@@ -36,4 +36,4 @@ pub mod unit;
 pub use keys::{KeyId, PacKeys};
 pub use pointer::VaConfig;
 pub use qarma::Qarma64;
-pub use unit::{AuthFailure, PacUnit};
+pub use unit::{AuthFailure, PacUnit, PacUnitStats};

@@ -49,7 +49,7 @@ impl VaConfig {
 
     /// Bit mask covering the PAC field.
     pub const fn pac_mask(&self) -> u64 {
-        (((1u64 << self.pac_bits()) - 1)) << self.pac_shift()
+        ((1u64 << self.pac_bits()) - 1) << self.pac_shift()
     }
 
     /// Bit mask covering the translated address bits.

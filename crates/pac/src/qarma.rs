@@ -73,7 +73,7 @@ fn set_cell(x: &mut u64, i: usize, v: u8) {
     *x = (*x & !(0xFu64 << shift)) | ((v as u64 & 0xF) << shift);
 }
 
-#[cfg_attr(not(test), allow(dead_code))] // reference for the byte-pair form
+#[allow(dead_code)] // reference for the byte-pair form
 #[inline]
 fn sub_cells(x: u64, sbox: &[u8; 16]) -> u64 {
     // Substitute each nibble in place, accumulating with OR into a fresh
@@ -460,10 +460,9 @@ mod tests {
                 [[4, 1, 2, 1], [1, 4, 1, 2], [2, 1, 4, 1], [1, 2, 1, 4]];
             let mut out = 0u64;
             for col in 0..4 {
-                for row in 0..4 {
+                for (row, rots) in ROTS.iter().enumerate() {
                     let mut acc = 0u8;
-                    for k in 0..4 {
-                        let r = ROTS[row][k];
+                    for (k, &r) in rots.iter().enumerate() {
                         if r < 4 {
                             acc ^= rot4(get_cell(x, 4 * k + col), r);
                         }

@@ -64,6 +64,24 @@ pub struct PacUnit {
     pub auth_count: u64,
     /// Number of `aut` operations that failed.
     pub fail_count: u64,
+    /// Unit-local telemetry: QARMA invocations and memo hit/miss counts.
+    /// Plain `Cell`s (the unit is per-VM, never shared across threads) so
+    /// the hot `compute_pac` path pays increments, not atomics; the VM
+    /// flushes them into the global collector once per run.
+    stats: PacUnitStats,
+}
+
+/// Memoisation-effectiveness counters for one [`PacUnit`].
+#[derive(Debug, Clone, Default)]
+pub struct PacUnitStats {
+    /// Full 14-round QARMA cipher invocations (= PAC memo misses).
+    pub qarma_calls: Cell<u64>,
+    /// Full-PAC memo hits (cipher skipped entirely).
+    pub pac_memo_hits: Cell<u64>,
+    /// Tweak-schedule memo hits.
+    pub sched_memo_hits: Cell<u64>,
+    /// Tweak-schedule memo misses (LFSR expansions run).
+    pub sched_memo_misses: Cell<u64>,
 }
 
 impl PacUnit {
@@ -80,7 +98,28 @@ impl PacUnit {
             sign_count: 0,
             auth_count: 0,
             fail_count: 0,
+            stats: PacUnitStats::default(),
         }
+    }
+
+    /// The unit's memo/cipher counters.
+    pub fn unit_stats(&self) -> &PacUnitStats {
+        &self.stats
+    }
+
+    /// Adds the unit's counters into the global telemetry collector (one
+    /// branch and no work while telemetry is disabled). The VM calls this
+    /// once per finished run.
+    pub fn flush_telemetry(&self) {
+        let tel = rsti_telemetry::global();
+        if !tel.is_enabled() {
+            return;
+        }
+        use rsti_telemetry::CounterId;
+        tel.add(CounterId::QarmaCalls, self.stats.qarma_calls.get());
+        tel.add(CounterId::PacMemoHits, self.stats.pac_memo_hits.get());
+        tel.add(CounterId::SchedMemoHits, self.stats.sched_memo_hits.get());
+        tel.add(CounterId::SchedMemoMisses, self.stats.sched_memo_misses.get());
     }
 
     /// A unit with the fixed test key bank and the paper's VA layout.
@@ -117,13 +156,18 @@ impl PacUnit {
         let pac_slot = &self.pacs[(h >> 58) as usize];
         let (ck, cc, cm, cp) = pac_slot.get();
         if ck == ki && cc == canon && cm == modifier {
+            self.stats.pac_memo_hits.set(self.stats.pac_memo_hits.get() + 1);
             return cp;
         }
+        self.stats.qarma_calls.set(self.stats.qarma_calls.get() + 1);
         let slot = &self.sched[(modifier ^ (modifier >> 3)) as usize & 7];
         let (cached_tweak, mut ts) = slot.get();
         if cached_tweak != modifier {
+            self.stats.sched_memo_misses.set(self.stats.sched_memo_misses.get() + 1);
             ts = tweak_schedule(modifier);
             slot.set((modifier, ts));
+        } else {
+            self.stats.sched_memo_hits.set(self.stats.sched_memo_hits.get() + 1);
         }
         let pac = self.cfg.truncate_pac(self.cipher(key).encrypt_with_schedule(canon, &ts));
         pac_slot.set((ki, canon, modifier, pac));

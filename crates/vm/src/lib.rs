@@ -44,8 +44,10 @@ pub use cycles::CostModel;
 pub use mem::{layout, Allocator, MemFault, Memory};
 pub use vm::{
     func_address, resolve_code_addr, Backend, ExecResult, ExtEvent, Image, RtVal, RunStop,
-    Status, Trap, Vm, CRITICAL_EXTERNALS, SITE_ORDER,
+    Status, Trap, Vm, CRITICAL_EXTERNALS, OPCLASS_ORDER, SITE_ORDER,
 };
+// The audit-record type carried in [`ExecResult::audit`].
+pub use rsti_telemetry::AuditRecord;
 
 #[cfg(test)]
 mod tests {
@@ -751,5 +753,54 @@ mod tests {
     fn stack_recursion_overflow() {
         let r = run_baseline("int f(int n) { return f(n + 1); } int main() { return f(0); }");
         assert!(matches!(r.status, Status::Trapped(Trap::StackOverflow)), "{:?}", r.status);
+    }
+
+    #[test]
+    fn module_without_main_traps_instead_of_panicking() {
+        let m = compile("int helper() { return 1; }", "t").unwrap();
+        let img = Image::baseline(&m);
+        let r = Vm::new(&img).run();
+        assert!(
+            matches!(&r.status, Status::Trapped(Trap::BadProgram(s)) if s.contains("main")),
+            "{:?}",
+            r.status
+        );
+        assert!(r.audit.is_empty(), "BadProgram is not an RSTI detection");
+    }
+
+    #[test]
+    fn violation_produces_audit_record_naming_mechanism_and_site() {
+        let src = r#"
+            void benign() { }
+            void evil() { print_str("EVIL"); }
+            struct ctx { void (*cb)(); };
+            struct ctx* g_ctx;
+            void dispatch() { g_ctx->cb(); }
+            int main() {
+                g_ctx = (struct ctx*) malloc(sizeof(struct ctx));
+                g_ctx->cb = benign;
+                dispatch();
+                return 0;
+            }
+        "#;
+        let m = compile(src, "t").unwrap();
+        for mech in [Mechanism::Stwc, Mechanism::Stc, Mechanism::Stl] {
+            let p = rsti_core::instrument(&m, mech);
+            let img = Image::from_instrumented(&p);
+            let mut vm = Vm::new(&img);
+            assert_eq!(vm.run_to_function("dispatch"), RunStop::Entered);
+            let obj = vm.heap_live()[0].0;
+            let evil = vm.func_addr("evil").unwrap();
+            vm.attacker_write_u64(obj, evil).unwrap();
+            let r = vm.finish();
+            assert!(matches!(&r.status, Status::Trapped(t) if t.is_detection()));
+            assert_eq!(r.audit.len(), 1, "{mech}: one record per detection");
+            let rec = &r.audit[0];
+            assert_eq!(rec.mechanism, mech.name(), "{mech}");
+            assert_eq!(rec.site, "on_load");
+            assert_eq!(rec.inst, "pac_auth");
+            assert_eq!(rec.func, "dispatch");
+            assert!(rec.detail.contains("PAC"), "{}", rec.detail);
+        }
     }
 }

@@ -26,6 +26,7 @@ use rsti_ir::{
     TypeId, TypeLayout, ValueId, VarId,
 };
 use rsti_pac::{KeyId, PacKeys, PacUnit, VaConfig};
+use rsti_telemetry::{AuditRecord, CounterId, Event, Phase};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -203,6 +204,12 @@ pub struct ExecResult {
     /// [`SITE_ORDER`] order — the runtime profile behind the §6.3.2
     /// instrumentation/overhead correlation.
     pub site_counts: [u64; 6],
+    /// Executed instructions by opcode class, in [`OPCLASS_ORDER`] order.
+    /// All zero unless telemetry was enabled when the VM was built.
+    pub opclass_counts: [u64; 6],
+    /// Structured audit record for every RSTI detection trap this run —
+    /// always collected (a run traps at most once, so this is free).
+    pub audit: Vec<AuditRecord>,
 }
 
 /// Order of [`ExecResult::site_counts`].
@@ -217,6 +224,90 @@ pub const SITE_ORDER: [PacSite; 6] = [
 
 fn site_index(site: PacSite) -> usize {
     SITE_ORDER.iter().position(|&s| s == site).expect("covered")
+}
+
+/// Names of the opcode classes counted in [`ExecResult::opclass_counts`].
+pub const OPCLASS_ORDER: [&str; 6] = ["mem", "arith", "call", "pac", "branch", "other"];
+
+const OPCLASS_MEM: usize = 0;
+const OPCLASS_ARITH: usize = 1;
+const OPCLASS_CALL: usize = 2;
+const OPCLASS_PAC: usize = 3;
+const OPCLASS_BRANCH: usize = 4;
+const OPCLASS_OTHER: usize = 5;
+
+fn opcode_class(inst: &Inst) -> usize {
+    match inst {
+        Inst::Alloca { .. } | Inst::Load { .. } | Inst::Store { .. } => OPCLASS_MEM,
+        Inst::FieldAddr { .. }
+        | Inst::IndexAddr { .. }
+        | Inst::BitCast { .. }
+        | Inst::Convert { .. }
+        | Inst::Bin { .. }
+        | Inst::Cmp { .. } => OPCLASS_ARITH,
+        Inst::Call { .. } | Inst::CallIndirect { .. } => OPCLASS_CALL,
+        Inst::PacSign { .. }
+        | Inst::PacAuth { .. }
+        | Inst::PacStrip { .. }
+        | Inst::PpAdd { .. }
+        | Inst::PpSign { .. }
+        | Inst::PpAddTbi { .. }
+        | Inst::PpAuth { .. } => OPCLASS_PAC,
+        Inst::Malloc { .. } | Inst::Free { .. } | Inst::PrintInt { .. } | Inst::PrintStr { .. } => {
+            OPCLASS_OTHER
+        }
+    }
+}
+
+/// Builds the out-of-range trap for a malformed image. Kept out of line
+/// so the bounds checks in the interpreter's hottest functions compile to
+/// a branch plus a call into cold code instead of inline `format!`
+/// machinery.
+#[cold]
+#[inline(never)]
+fn oob(what: &'static str, idx: usize) -> Trap {
+    Trap::BadProgram(format!("{what} {idx} out of range"))
+}
+
+/// Grows a register-file-shaped table so a malformed image's write past
+/// the declared value table lands in fresh slots instead of aborting the
+/// process. Out of line: the resize machinery stays off the hot path.
+#[cold]
+#[inline(never)]
+fn grow_slots<T: Copy>(slots: &mut Vec<T>, idx: usize, fill: T) {
+    slots.resize(idx + 1, fill);
+}
+
+#[cold]
+#[inline(never)]
+fn missing_block(block: usize, func: &str) -> Trap {
+    Trap::BadProgram(format!("branch to missing block {block} in {func}"))
+}
+
+#[cold]
+#[inline(never)]
+fn external_frame(func: &str) -> Trap {
+    Trap::BadProgram(format!("frame pushed for external function {func}"))
+}
+
+/// Which pointer-to-pointer metadata check failed, carried as plain
+/// numbers so [`Vm::pp_fail`] can render the messages out of line.
+enum PpFail {
+    Conflict { ce: u64, had: u64 },
+    NotRegistered { ce: u64 },
+    MissingTag,
+    NotInStore { ce: u64 },
+}
+
+fn site_name(site: PacSite) -> &'static str {
+    match site {
+        PacSite::OnStore => "on_store",
+        PacSite::OnLoad => "on_load",
+        PacSite::CastResign => "cast_resign",
+        PacSite::ArgResign => "arg_resign",
+        PacSite::ExternalStrip => "external_strip",
+        PacSite::NewPointer => "new_pointer",
+    }
 }
 
 impl ExecResult {
@@ -450,6 +541,18 @@ pub struct Vm<'img> {
     /// Scratch buffer for evaluated call arguments, reused across calls so
     /// argument passing allocates nothing in steady state.
     call_args: Vec<RtVal>,
+    /// Snapshot of the global collector's enabled flag, taken at load:
+    /// the per-instruction opcode-class counting branches on this plain
+    /// bool instead of re-reading the atomic in the hot loop.
+    trace_enabled: bool,
+    /// Executed instructions by opcode class ([`OPCLASS_ORDER`]); counted
+    /// only while `trace_enabled`.
+    opclass: [u64; 6],
+    /// Violation audit log: one record per RSTI detection trap. Always
+    /// collected — a run traps at most once, so the cost is nil.
+    audit: Vec<AuditRecord>,
+    /// Guards the once-per-run flush into the global collector.
+    telemetry_flushed: bool,
 }
 
 /// Result of [`Vm::run_to_function`].
@@ -464,10 +567,9 @@ pub enum RunStop {
 
 impl<'img> Vm<'img> {
     /// Loads an image: lays out globals and strings, applies load-time
-    /// signing, and prepares to call `main`.
-    ///
-    /// # Panics
-    /// Panics when the module has no `main` function.
+    /// signing, and prepares to call `main`. A module without a `main`
+    /// function yields a VM already trapped with [`Trap::BadProgram`]
+    /// rather than a panic.
     pub fn new(img: &'img Image) -> Self {
         let m = &img.module;
         // Globals layout.
@@ -500,7 +602,7 @@ impl<'img> Vm<'img> {
                 match &g.init {
                     GlobalInit::Zero => {}
                     GlobalInit::Int(v) => {
-                        let size = m.types.size_of(g.ty).min(8).max(1);
+                        let size = m.types.size_of(g.ty).clamp(1, 8);
                         let bytes = v.to_le_bytes();
                         mem.write(a, &bytes[..size as usize]).expect("global fits");
                     }
@@ -560,9 +662,27 @@ impl<'img> Vm<'img> {
             last_ptr_load: None,
             site_counts: [0; 6],
             call_args: Vec::new(),
+            trace_enabled: rsti_telemetry::global().is_enabled(),
+            opclass: [0; 6],
+            audit: Vec::new(),
+            telemetry_flushed: false,
         };
-        let main = m.func_by_name("main").expect("module has a main function");
-        vm.push_frame(main, &[], None).expect("main frame");
+        // A malformed image (no `main`, or a `main` that cannot get a
+        // frame) loads into an already-trapped VM instead of aborting the
+        // process: `run` then reports `Trap::BadProgram` like any other
+        // failure, and the audit/telemetry path still sees the run.
+        match m.func_by_name("main") {
+            Some(main) => {
+                if let Err(t) = vm.push_frame(main, &[], None) {
+                    vm.status = Some(Status::Trapped(t));
+                }
+            }
+            None => {
+                vm.status = Some(Status::Trapped(Trap::BadProgram(
+                    "module has no `main` function".into(),
+                )));
+            }
+        }
         vm
     }
 
@@ -678,10 +798,13 @@ impl<'img> Vm<'img> {
             pac_signs: self.pac.sign_count,
             pac_auths: self.pac.auth_count,
             site_counts: self.site_counts,
+            opclass_counts: self.opclass,
+            audit: self.audit.clone(),
         }
     }
 
     fn run_internal(&mut self, watch: Option<FuncId>) {
+        let _span = rsti_telemetry::global().span(Phase::VmRun);
         let mut skip_check = std::mem::take(&mut self.paused);
         let Some(w) = watch else {
             // No watchpoint (the measurement path): a tight step loop with
@@ -691,6 +814,7 @@ impl<'img> Vm<'img> {
                     self.status = Some(Status::Trapped(t));
                 }
             }
+            self.flush_telemetry();
             return;
         };
         while self.status.is_none() {
@@ -707,21 +831,167 @@ impl<'img> Vm<'img> {
                 self.status = Some(Status::Trapped(t));
             }
         }
+        self.flush_telemetry();
+    }
+
+    /// Adds the run's accumulated counts into the global collector and
+    /// emits the end-of-run event. Runs once per finished execution; a
+    /// disabled collector reduces this to two branches.
+    fn flush_telemetry(&mut self) {
+        if self.telemetry_flushed || self.status.is_none() {
+            return;
+        }
+        self.telemetry_flushed = true;
+        let tel = rsti_telemetry::global();
+        if !tel.is_enabled() {
+            return;
+        }
+        self.pac.flush_telemetry();
+        tel.add(CounterId::VmPacSigns, self.pac.sign_count);
+        tel.add(CounterId::VmPacAuths, self.pac.auth_count);
+        tel.add(CounterId::VmAuthFailures, self.pac.fail_count);
+        tel.add(CounterId::VmInstMem, self.opclass[OPCLASS_MEM]);
+        tel.add(CounterId::VmInstArith, self.opclass[OPCLASS_ARITH]);
+        tel.add(CounterId::VmInstCall, self.opclass[OPCLASS_CALL]);
+        tel.add(CounterId::VmInstPac, self.opclass[OPCLASS_PAC]);
+        tel.add(CounterId::VmInstBranch, self.opclass[OPCLASS_BRANCH]);
+        tel.add(CounterId::VmInstOther, self.opclass[OPCLASS_OTHER]);
+        let status = match &self.status {
+            Some(Status::Exited(code)) => {
+                format!("exit: {code}")
+            }
+            Some(Status::Trapped(t)) => {
+                tel.add(CounterId::VmTraps, 1);
+                format!("trap: {t}")
+            }
+            None => unreachable!("guarded above"),
+        };
+        tel.emit(&Event::RunEnd {
+            insts: self.insts,
+            cycles: self.cycles,
+            pac_signs: self.pac.sign_count,
+            pac_auths: self.pac.auth_count,
+            status: &status,
+        });
+    }
+
+    /// Builds the audit record for an RSTI detection trap, appends it to
+    /// the run's audit log, and forwards it to the global collector.
+    ///
+    /// Cold and out of line, like every failure constructor below: a
+    /// detection ends the run, and keeping the string formatting out of
+    /// `exec_inst` keeps that function small enough that the hot
+    /// sign/auth/eval helpers stay inlined into it.
+    #[cold]
+    #[inline(never)]
+    fn record_audit(&mut self, site: &'static str, inst: &'static str, modifier: u64, detail: String) {
+        let rec = AuditRecord {
+            mechanism: self
+                .img
+                .mechanism
+                .map_or_else(|| "baseline".to_string(), |m| m.name().to_string()),
+            modifier,
+            site: site.to_string(),
+            func: self.cur_func_name(),
+            line: self.cur_line(),
+            inst: inst.to_string(),
+            detail,
+        };
+        rsti_telemetry::global().record_violation(&rec);
+        self.audit.push(rec);
+    }
+
+    /// PAC mismatch on an `aut` (pac-in-pointer backend).
+    #[cold]
+    #[inline(never)]
+    fn pac_auth_fail(
+        &mut self,
+        inst: &'static str,
+        site: PacSite,
+        modifier: u64,
+        found: u64,
+        expected: u64,
+    ) -> Trap {
+        self.record_audit(
+            site_name(site),
+            inst,
+            modifier,
+            format!("found PAC {found:#x}, expected {expected:#x}"),
+        );
+        Trap::PacAuthFailure {
+            func: self.cur_func_name(),
+            line: self.cur_line(),
+            site,
+            found_pac: found,
+            expected_pac: expected,
+        }
+    }
+
+    /// Missing or stale MAC on an `aut` (MAC-table backend).
+    #[cold]
+    #[inline(never)]
+    fn mac_stale_fail(
+        &mut self,
+        inst: &'static str,
+        site: PacSite,
+        modifier: u64,
+        expected: u64,
+    ) -> Trap {
+        self.record_audit(
+            site_name(site),
+            inst,
+            modifier,
+            format!("MAC missing or stale, expected {expected:#x}"),
+        );
+        Trap::PacAuthFailure {
+            func: self.cur_func_name(),
+            line: self.cur_line(),
+            site,
+            found_pac: 0,
+            expected_pac: expected,
+        }
+    }
+
+    /// Pointer-to-pointer metadata failure.
+    #[cold]
+    #[inline(never)]
+    fn pp_fail(&mut self, inst: &'static str, modifier: u64, f: PpFail) -> Trap {
+        let (detail, reason) = match f {
+            PpFail::Conflict { ce, had } => (
+                format!("CE {ce} metadata conflict (had {had:#x})"),
+                format!("CE {ce} metadata conflict"),
+            ),
+            PpFail::NotRegistered { ce } => (
+                format!("CE {ce} not registered"),
+                format!("pp_sign: CE {ce} not registered"),
+            ),
+            PpFail::MissingTag => (
+                "missing CE tag (raw or corrupted pointer)".to_string(),
+                "pp_auth: missing CE tag (raw or corrupted pointer)".to_string(),
+            ),
+            PpFail::NotInStore { ce } => (
+                format!("CE {ce} not in metadata store"),
+                format!("pp_auth: CE {ce} not in metadata store"),
+            ),
+        };
+        self.record_audit("pp_metadata", inst, modifier, detail);
+        Trap::PpAuthFailure { func: self.cur_func_name(), reason }
     }
 
     fn cur_func_name(&self) -> String {
         self.frames
             .last()
-            .map(|f| self.img.module.funcs[f.func.0 as usize].name.clone())
+            .and_then(|f| self.img.module.funcs.get(f.func.0 as usize))
+            .map(|f| f.name.clone())
             .unwrap_or_else(|| "<none>".into())
     }
 
     fn cur_line(&self) -> u32 {
         let Some(fr) = self.frames.last() else { return 0 };
-        let f = &self.img.module.funcs[fr.func.0 as usize];
-        f.blocks[fr.block]
-            .insts
-            .get(fr.idx)
+        let Some(f) = self.img.module.funcs.get(fr.func.0 as usize) else { return 0 };
+        f.blocks
+            .get(fr.block)
+            .and_then(|b| b.insts.get(fr.idx))
             .and_then(|n| n.loc)
             .map(|l| l.line)
             .unwrap_or(0)
@@ -737,8 +1007,12 @@ impl<'img> Vm<'img> {
             return Err(Trap::StackOverflow);
         }
         let img = self.img;
-        let f = &img.module.funcs[fid.0 as usize];
-        debug_assert!(!f.is_external);
+        let Some(f) = img.module.funcs.get(fid.0 as usize) else {
+            return Err(oob("function", fid.0 as usize));
+        };
+        if f.is_external {
+            return Err(external_frame(&f.name));
+        }
         let mut frame = self.frame_pool.pop().unwrap_or_else(Frame::blank);
         let nvals = f.value_types.len();
         // Invalidate every slot by bumping the generation; on wrap, hard
@@ -807,7 +1081,9 @@ impl<'img> Vm<'img> {
         let fr = self.frames.last().expect("active frame");
         Ok(match op {
             Operand::Value(v) => {
-                let (tag, val) = fr.regs[v.0 as usize];
+                let Some(&(tag, val)) = fr.regs.get(v.0 as usize) else {
+                    return Err(oob("register", v.0 as usize));
+                };
                 if tag != fr.gen {
                     return Err(Trap::BadProgram(format!("use of undefined {v}")));
                 }
@@ -817,14 +1093,26 @@ impl<'img> Vm<'img> {
             Operand::ConstFloat(bits, _) => RtVal::F(f64::from_bits(*bits)),
             Operand::Null(_) => RtVal::P(0),
             Operand::FuncAddr(fid, _) => RtVal::P(func_address(&self.img.module, *fid)),
-            Operand::GlobalAddr(gid, _) => RtVal::P(self.global_addrs[gid.0 as usize]),
-            Operand::Str(sid, _) => RtVal::P(self.str_addrs[sid.0 as usize]),
+            Operand::GlobalAddr(gid, _) => match self.global_addrs.get(gid.0 as usize) {
+                Some(&a) => RtVal::P(a),
+                None => return Err(oob("global", gid.0 as usize)),
+            },
+            Operand::Str(sid, _) => match self.str_addrs.get(sid.0 as usize) {
+                Some(&a) => RtVal::P(a),
+                None => return Err(oob("string", sid.0 as usize)),
+            },
         })
     }
 
     fn set(&mut self, v: ValueId, val: RtVal) {
         let fr = self.frames.last_mut().expect("active frame");
-        fr.regs[v.0 as usize] = (fr.gen, val);
+        let i = v.0 as usize;
+        if i >= fr.regs.len() {
+            // Malformed image: a result id past the declared value table.
+            // Grow the register file rather than abort the process.
+            grow_slots(&mut fr.regs, i, (0, RtVal::I(0)));
+        }
+        fr.regs[i] = (fr.gen, val);
     }
 
     fn as_ptr(&self, v: RtVal) -> Result<u64, Trap> {
@@ -976,7 +1264,11 @@ impl<'img> Vm<'img> {
         let depth = self.frames.len();
         let fr = self.frames.last().expect("active frame");
         let f = &img.module.funcs[fr.func.0 as usize];
-        let blk = &f.blocks[fr.block];
+        let Some(blk) = f.blocks.get(fr.block) else {
+            // A malformed image can branch past the last block; report it
+            // as a trap so the run (and its audit log) completes normally.
+            return Err(missing_block(fr.block, &f.name));
+        };
         let mut idx = fr.idx;
 
         while idx < blk.insts.len() {
@@ -986,6 +1278,9 @@ impl<'img> Vm<'img> {
             self.insts += 1;
             let inst = &blk.insts[idx].inst;
             idx += 1;
+            if self.trace_enabled {
+                self.opclass[opcode_class(inst)] += 1;
+            }
             // Commit the new index before executing: calls resume the
             // caller here, and trap diagnostics read it.
             self.frames.last_mut().expect("active frame").idx = idx;
@@ -1003,6 +1298,9 @@ impl<'img> Vm<'img> {
             return Err(Trap::FuelExhausted);
         }
         self.insts += 1;
+        if self.trace_enabled {
+            self.opclass[OPCLASS_BRANCH] += 1;
+        }
         self.cycles += img.cost.branch;
         self.exec_term(&blk.term)
     }
@@ -1078,6 +1376,9 @@ impl<'img> Vm<'img> {
                     }
                     Some(caller) => {
                         if let Some(rt) = fr.ret_to {
+                            if rt.0 as usize >= caller.regs.len() {
+                                grow_slots(&mut caller.regs, rt.0 as usize, (0, RtVal::I(0)));
+                            }
                             caller.regs[rt.0 as usize] = match val {
                                 Some(v) => (caller.gen, v),
                                 // Void return into a slot: leave undefined.
@@ -1101,7 +1402,8 @@ impl<'img> Vm<'img> {
         match inst {
             Inst::Alloca { result, ty, var } => {
                 let fr = self.frames.last().expect("frame");
-                let (tag, cached) = fr.alloca_cache[result.0 as usize];
+                let (tag, cached) =
+                    fr.alloca_cache.get(result.0 as usize).copied().unwrap_or((0, 0));
                 if tag == fr.gen {
                     self.set(*result, RtVal::P(cached));
                     return Ok(());
@@ -1116,6 +1418,9 @@ impl<'img> Vm<'img> {
                 self.mem.write_zeros(addr, size).map_err(|e| self.mem_err(e))?;
                 let var = *var;
                 let fr = self.frames.last_mut().expect("frame");
+                if result.0 as usize >= fr.alloca_cache.len() {
+                    grow_slots(&mut fr.alloca_cache, result.0 as usize, (0, 0));
+                }
                 fr.alloca_cache[result.0 as usize] = (fr.gen, addr);
                 if let Some(v) = var {
                     fr.locals.push((v, addr));
@@ -1207,7 +1512,10 @@ impl<'img> Vm<'img> {
                         }
                     }
                 }
-                let callee_f = &m.funcs[callee.0 as usize];
+                let Some(callee_f) = m.funcs.get(callee.0 as usize) else {
+                    self.call_args = argv;
+                    return Err(oob("function", callee.0 as usize));
+                };
                 let r = if callee_f.is_external {
                     let v = self.external_call(&callee_f.name, &argv, callee_f.sig.ret);
                     if let (Some(r), Some(v)) = (result, v) {
@@ -1284,7 +1592,10 @@ impl<'img> Vm<'img> {
                 Ok(())
             }
             Inst::PrintStr { s } => {
-                self.output.push(m.strings[s.0 as usize].clone());
+                let Some(text) = m.strings.get(s.0 as usize) else {
+                    return Err(oob("string", s.0 as usize));
+                };
+                self.output.push(text.clone());
                 Ok(())
             }
             Inst::PacSign { result, value, key, modifier, loc, site } => {
@@ -1318,13 +1629,13 @@ impl<'img> Vm<'img> {
                             self.set(*result, RtVal::P(clean));
                             Ok(())
                         }
-                        Err(e) => Err(Trap::PacAuthFailure {
-                            func: self.cur_func_name(),
-                            line: self.cur_line(),
-                            site: *site,
-                            found_pac: e.found_pac,
-                            expected_pac: e.expected_pac,
-                        }),
+                        Err(e) => Err(self.pac_auth_fail(
+                            "pac_auth",
+                            *site,
+                            modifier,
+                            e.found_pac,
+                            e.expected_pac,
+                        )),
                     },
                     Backend::MacTable => {
                         self.pac.auth_count += 1;
@@ -1342,13 +1653,7 @@ impl<'img> Vm<'img> {
                             }
                         }
                         self.pac.fail_count += 1;
-                        Err(Trap::PacAuthFailure {
-                            func: self.cur_func_name(),
-                            line: self.cur_line(),
-                            site: *site,
-                            found_pac: 0,
-                            expected_pac: expected,
-                        })
+                        Err(self.mac_stale_fail("pac_auth", *site, modifier, expected))
                     }
                 }
             }
@@ -1361,10 +1666,11 @@ impl<'img> Vm<'img> {
             }
             Inst::PpAdd { ce, fe_modifier } => {
                 match self.pp_table.get(ce) {
-                    Some(&fe) if fe != *fe_modifier => Err(Trap::PpAuthFailure {
-                        func: self.cur_func_name(),
-                        reason: format!("CE {ce} metadata conflict"),
-                    }),
+                    Some(&fe) if fe != *fe_modifier => Err(self.pp_fail(
+                        "pp_add",
+                        *fe_modifier,
+                        PpFail::Conflict { ce: *ce as u64, had: fe },
+                    )),
                     _ => {
                         self.pp_table.insert(*ce, *fe_modifier);
                         Ok(())
@@ -1373,10 +1679,16 @@ impl<'img> Vm<'img> {
             }
             Inst::PpSign { result, value, ce, key } => {
                 let p = self.as_ptr(self.eval(value)?)?;
-                let fe = *self.pp_table.get(ce).ok_or_else(|| Trap::PpAuthFailure {
-                    func: self.cur_func_name(),
-                    reason: format!("pp_sign: CE {ce} not registered"),
-                })?;
+                let fe = match self.pp_table.get(ce) {
+                    Some(&fe) => fe,
+                    None => {
+                        return Err(self.pp_fail(
+                            "pp_sign",
+                            *ce as u64,
+                            PpFail::NotRegistered { ce: *ce as u64 },
+                        ));
+                    }
+                };
                 match img.backend {
                     Backend::PacInPointer => {
                         let signed = self.pac.sign(key_id(*key), p, fe);
@@ -1400,15 +1712,18 @@ impl<'img> Vm<'img> {
                 let p = self.as_ptr(self.eval(value)?)?;
                 let ce = self.img.va.tbi_tag(p);
                 if ce == 0 {
-                    return Err(Trap::PpAuthFailure {
-                        func: self.cur_func_name(),
-                        reason: "pp_auth: missing CE tag (raw or corrupted pointer)".into(),
-                    });
+                    return Err(self.pp_fail("pp_auth", 0, PpFail::MissingTag));
                 }
-                let fe = *self.pp_table.get(&ce).ok_or_else(|| Trap::PpAuthFailure {
-                    func: self.cur_func_name(),
-                    reason: format!("pp_auth: CE {ce} not in metadata store"),
-                })?;
+                let fe = match self.pp_table.get(&ce) {
+                    Some(&fe) => fe,
+                    None => {
+                        return Err(self.pp_fail(
+                            "pp_auth",
+                            ce as u64,
+                            PpFail::NotInStore { ce: ce as u64 },
+                        ));
+                    }
+                };
                 let untagged = self.img.va.clear_tbi(p);
                 match img.backend {
                     Backend::PacInPointer => {
@@ -1417,13 +1732,13 @@ impl<'img> Vm<'img> {
                                 self.set(*result, RtVal::P(clean));
                                 Ok(())
                             }
-                            Err(e) => Err(Trap::PacAuthFailure {
-                                func: self.cur_func_name(),
-                                line: self.cur_line(),
-                                site: PacSite::OnLoad,
-                                found_pac: e.found_pac,
-                                expected_pac: e.expected_pac,
-                            }),
+                            Err(e) => Err(self.pac_auth_fail(
+                                "pp_auth",
+                                PacSite::OnLoad,
+                                fe,
+                                e.found_pac,
+                                e.expected_pac,
+                            )),
                         }
                     }
                     Backend::MacTable => {
@@ -1442,13 +1757,7 @@ impl<'img> Vm<'img> {
                             Ok(())
                         } else {
                             self.pac.fail_count += 1;
-                            Err(Trap::PacAuthFailure {
-                                func: self.cur_func_name(),
-                                line: self.cur_line(),
-                                site: PacSite::OnLoad,
-                                found_pac: 0,
-                                expected_pac: expected,
-                            })
+                            Err(self.mac_stale_fail("pp_auth", PacSite::OnLoad, fe, expected))
                         }
                     }
                 }
@@ -1573,9 +1882,10 @@ fn cmp_vals(op: CmpOp, a: RtVal, b: RtVal) -> bool {
     }
 }
 
-/// The code address of a function.
+/// The code address of a function. An out-of-range id gets a code-segment
+/// address (it will fail resolution on use rather than abort here).
 pub fn func_address(m: &Module, fid: FuncId) -> u64 {
-    let base = if m.funcs[fid.0 as usize].is_external {
+    let base = if m.funcs.get(fid.0 as usize).is_some_and(|f| f.is_external) {
         layout::EXTERNAL_BASE
     } else {
         layout::CODE_BASE
@@ -1589,7 +1899,7 @@ pub fn resolve_code_addr(m: &Module, addr: u64) -> Option<(FuncId, bool)> {
     for (base, external) in [(layout::CODE_BASE, false), (layout::EXTERNAL_BASE, true)] {
         if addr >= base && addr < base + m.funcs.len() as u64 * layout::CODE_STRIDE {
             let off = addr - base;
-            if off % layout::CODE_STRIDE != 0 {
+            if !off.is_multiple_of(layout::CODE_STRIDE) {
                 return None;
             }
             let fid = FuncId((off / layout::CODE_STRIDE) as u32);

@@ -78,8 +78,8 @@ fn main() {
     let baseline = Image::baseline(&module);
     let base_cycles = benign_cycles(&baseline);
     println!(
-        "{:<28} {:>9} {:>10} {:>9}   {}",
-        "configuration", "pac ops", "cycles", "overhead", "same-type substitution"
+        "{:<28} {:>9} {:>10} {:>9}   same-type substitution",
+        "configuration", "pac ops", "cycles", "overhead"
     );
     println!(
         "{:<28} {:>9} {:>10} {:>9}   {}",
