@@ -10,7 +10,15 @@
 //! rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
 //! rsti instrument <file.mc> [--mech ...]        # dump instrumented IR
 //! rsti equivalence <file.mc>                    # Table 3 row for a file
+//! rsti fuzz [--seeds N] [--start S] [--minimize] [--corpus DIR]
 //! ```
+//!
+//! `fuzz` runs the differential campaign from `rsti-fuzz`: every seed's
+//! program must behave identically under the baseline and every
+//! `mechanism × optimization` configuration, verify at every pass boundary,
+//! and never panic. Failures are delta-debugged with `--minimize` and
+//! written as `.mc` repros with `--corpus DIR`; the process exits nonzero
+//! if any oracle was violated.
 //!
 //! `--trace <path>` (or the `RSTI_TRACE` env var) turns the global
 //! telemetry collector on and streams JSONL events — phase spans, counter
@@ -87,10 +95,88 @@ pub fn parse_mechanism(s: &str) -> Result<Option<Mechanism>, String> {
 
 /// Runs the CLI; returns (exit code, output text).
 pub fn run_cli(args: &[String]) -> (i32, String) {
+    // `fuzz` takes no input file and owns its exit code (nonzero on oracle
+    // violations, not only on bad arguments), so it bypasses `dispatch`.
+    if args.first().map(String::as_str) == Some("fuzz") {
+        return match cmd_fuzz(args) {
+            Ok(r) => r,
+            Err(e) => (1, format!("error: {e}\n{USAGE}")),
+        };
+    }
     match dispatch(args) {
         Ok(out) => (0, out),
         Err(e) => (1, format!("error: {e}\n{USAGE}")),
     }
+}
+
+/// The `fuzz` subcommand: a bounded differential campaign.
+///
+/// # Errors
+/// Returns usage errors (bad flag values); oracle violations are *not*
+/// errors — they are reported in the output with exit code 1.
+fn cmd_fuzz(args: &[String]) -> Result<(i32, String), String> {
+    let tel = rsti_telemetry::global();
+    if let Some(path) = flag_value(args, "--trace") {
+        tel.enable();
+        tel.set_sink_path(path)
+            .map_err(|e| format!("cannot open trace file `{path}`: {e}"))?;
+    } else {
+        tel.init_from_env();
+    }
+
+    let parse_u64 = |flag: &str, default: u64| -> Result<u64, String> {
+        match flag_value(args, flag) {
+            Some(s) => s.parse().map_err(|_| format!("bad {flag} value `{s}`")),
+            None => Ok(default),
+        }
+    };
+    let cfg = rsti_fuzz::FuzzConfig {
+        start: parse_u64("--start", 0)?,
+        seeds: parse_u64("--seeds", 100)?,
+        minimize: args.iter().any(|a| a == "--minimize"),
+        ..Default::default()
+    };
+    let corpus_dir = flag_value(args, "--corpus");
+
+    let report = rsti_fuzz::run_campaign(&cfg);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fuzz: {} seed(s) from {}, {} oracle violation(s)",
+        report.seeds_run,
+        cfg.start,
+        report.failures.len()
+    );
+    for f in &report.failures {
+        let _ = writeln!(out, "seed {}: {}", f.seed, f.kind);
+        if let Some(min) = &f.minimized {
+            let _ = writeln!(
+                out,
+                "  minimized to {} line(s) in {} oracle run(s)",
+                min.lines().count(),
+                f.attempts
+            );
+        }
+        if let Some(dir) = corpus_dir {
+            let name = format!("seed_{:06}", f.seed);
+            let src = f.minimized.as_deref().unwrap_or(&f.source);
+            match rsti_fuzz::corpus::write_repro(
+                std::path::Path::new(dir),
+                &name,
+                f.seed,
+                &f.kind.class_key(),
+                src,
+            ) {
+                Ok(p) => {
+                    let _ = writeln!(out, "  repro written: {}", p.display());
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "  cannot write repro: {e}");
+                }
+            }
+        }
+    }
+    Ok((if report.clean() { 0 } else { 1 }, out))
 }
 
 const USAGE: &str = "\
@@ -100,6 +186,7 @@ usage:
   rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
   rsti instrument <file.mc> [--mech stwc|stc|stl|parts]
   rsti equivalence <file.mc>
+  rsti fuzz [--seeds N] [--start S] [--minimize] [--corpus DIR] [--trace out.jsonl]
 
   RSTI_TRACE=<path> in the environment is equivalent to --trace <path>.
 ";
@@ -422,6 +509,29 @@ mod tests {
             }
         }
         assert!(found >= 3, "expected bundled samples, found {found}");
+    }
+
+    #[test]
+    fn fuzz_smoke_is_clean_and_exits_zero() {
+        let (code, out) = run_cli(&["fuzz".into(), "--seeds".into(), "2".into()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2 seed(s)"), "{out}");
+        assert!(out.contains("0 oracle violation(s)"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_rejects_bad_flag_values() {
+        let (code, out) = run_cli(&["fuzz".into(), "--seeds".into(), "many".into()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("bad --seeds"), "{out}");
+        let (code, out) = run_cli(&["fuzz".into(), "--start".into(), "-3".into()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("bad --start"), "{out}");
+    }
+
+    #[test]
+    fn usage_lists_the_fuzz_command() {
+        assert!(USAGE.contains("rsti fuzz"), "{USAGE}");
     }
 
     #[test]

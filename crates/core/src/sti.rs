@@ -862,4 +862,45 @@ mod tests {
             .unwrap_or_else(|| panic!("no pointer var `{name}`"))
             .key
     }
+
+    /// Found by differential fuzzing (tests/corpus/global_addr_escape.mc):
+    /// `&g` on a *global* pointer variable must demote `g` into its type's
+    /// anonymous class exactly like `&local` does. Before the fix,
+    /// `root_of_value` returned no root for `Operand::GlobalAddr`, so the
+    /// store `saved = &x` signed with `saved`'s own class while the callee's
+    /// `*pp` load authenticated against `TypeOf(long*)` — a false PAC trap
+    /// on a benign program.
+    #[test]
+    fn address_escaped_global_joins_its_anonymous_type_class() {
+        let src = r#"
+            long* saved;
+            void bump(long** pp) {
+                if (*pp != null) { **pp = **pp + 1; }
+            }
+            int main() {
+                long x = 5;
+                saved = &x;
+                bump(&saved);
+                return 0;
+            }
+        "#;
+        let m = compile(src, "t").unwrap();
+        let saved_ty = m
+            .vars
+            .iter()
+            .find(|v| v.name == "saved")
+            .expect("saved has a VarInfo")
+            .ty;
+        for mech in Mechanism::ALL {
+            let a = analyze(&m, mech);
+            let saved = a.modifier_of(key_of(&a, "saved")).unwrap();
+            let anon = a
+                .modifier_of(StorageKey::TypeOf(saved_ty))
+                .expect("anonymous long* storage exists");
+            assert_eq!(
+                saved, anon,
+                "{mech}: address-escaped global must share the anonymous class"
+            );
+        }
+    }
 }

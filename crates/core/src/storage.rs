@@ -160,8 +160,27 @@ pub fn root_of_value(
 ) -> ValueRoot {
     match op {
         Operand::Value(v) => root_of_value_id(m, f, defs, *v, false, 0),
-        // Constants have no storage root.
-        _ => ValueRoot { key: None, root_ty: None, casted: false, is_address: false },
+        other => root_of_const_operand(m, other, false),
+    }
+}
+
+/// Root of a constant operand. `&g` on a global is an address-of exactly
+/// like `&x` on a local: the storage escapes and accesses through the
+/// aliasing pointer can only be checked against the type-level class, so
+/// the global must be demoted the same way (missing this signs stores to
+/// the global with its own class while aliased loads authenticate against
+/// the anonymous class — a false PAC trap on benign programs).
+fn root_of_const_operand(m: &Module, op: &Operand, casted: bool) -> ValueRoot {
+    match op {
+        Operand::GlobalAddr(gid, ty) => ValueRoot {
+            key: Some(StorageKey::Var(m.global(*gid).var)),
+            root_ty: Some(*ty),
+            casted,
+            is_address: true,
+        },
+        // Other constants (null, ints, function addresses, strings) have no
+        // variable storage root.
+        _ => ValueRoot { key: None, root_ty: None, casted, is_address: false },
     }
 }
 
@@ -199,18 +218,16 @@ fn root_of_value_id(
         }
         Inst::BitCast { value, .. } => match value {
             Operand::Value(b) => root_of_value_id(m, f, defs, *b, true, depth + 1),
-            _ => ValueRoot { key: None, root_ty: None, casted: true, is_address: false },
+            other => root_of_const_operand(m, other, true),
         },
         Inst::PacAuth { value, .. } | Inst::PacSign { value, .. } => match value {
             Operand::Value(b) => root_of_value_id(m, f, defs, *b, casted, depth + 1),
-            _ => ValueRoot { key: None, root_ty: None, casted, is_address: false },
+            other => root_of_const_operand(m, other, casted),
         },
         Inst::IndexAddr { base: Operand::Value(b), .. } => {
             root_of_value_id(m, f, defs, *b, casted, depth + 1)
         }
-        Inst::IndexAddr { .. } => {
-            ValueRoot { key: None, root_ty: None, casted, is_address: false }
-        }
+        Inst::IndexAddr { base, .. } => root_of_const_operand(m, base, casted),
         // &local, &global, &field: the value *is* the address of that
         // storage — root it there so `&p` passed around links p's class.
         Inst::Alloca { var: Some(var), .. } => ValueRoot {

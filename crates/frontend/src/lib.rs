@@ -32,11 +32,13 @@ pub mod ast;
 pub mod error;
 pub mod lower;
 pub mod parser;
+pub mod printer;
 pub mod token;
 
 pub use error::CompileError;
 pub use lower::compile;
 pub use parser::parse;
+pub use printer::{ast_eq_items, expr_eq, print_expr, print_items};
 
 #[cfg(test)]
 mod tests {

@@ -303,9 +303,13 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, CompileError> {
                         i += 1;
                     }
                     let text = &src[start + 2..i];
-                    let v = i64::from_str_radix(text, 16)
+                    // Parse as u64 and reinterpret: C-legal literals in
+                    // [0x8000000000000000, 0xFFFFFFFFFFFFFFFF] (e.g. the
+                    // all-ones mask) wrap to negative i64, matching C
+                    // unsigned-wrap semantics, instead of failing to lex.
+                    let v = u64::from_str_radix(text, 16)
                         .map_err(|_| CompileError::new(line, "bad hex literal"))?;
-                    out.push(SpannedTok { tok: Tok::Int(v), line });
+                    out.push(SpannedTok { tok: Tok::Int(v as i64), line });
                     continue;
                 }
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -516,6 +520,24 @@ mod tests {
     #[test]
     fn lex_hex() {
         assert_eq!(toks("0xFF"), vec![Tok::Int(255), Tok::Eof]);
+    }
+
+    #[test]
+    fn lex_hex_at_signedness_boundary() {
+        // Largest literal that fits i64 directly...
+        assert_eq!(toks("0x7FFFFFFFFFFFFFFF"), vec![Tok::Int(i64::MAX), Tok::Eof]);
+        // ...and the first one past it, which C wraps to i64::MIN.
+        assert_eq!(toks("0x8000000000000000"), vec![Tok::Int(i64::MIN), Tok::Eof]);
+    }
+
+    #[test]
+    fn lex_hex_all_ones_mask() {
+        // The canonical all-ones mask must lex (to -1), not error.
+        assert_eq!(toks("0xFFFFFFFFFFFFFFFF"), vec![Tok::Int(-1), Tok::Eof]);
+        // 17 hex digits genuinely overflows u64 and stays an error.
+        assert!(lex("0x1FFFFFFFFFFFFFFFF").is_err());
+        // Bare `0x` with no digits is still rejected.
+        assert!(lex("0x;").is_err());
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! The three differential oracles (§6 of the reproduction's DESIGN notes).
+//!
+//! Every candidate program — generated, minimized, or replayed from the
+//! committed corpus — is pushed through the same checks:
+//!
+//! 1. **Differential output**: the uninstrumented baseline run and every
+//!    `Mechanism × {unoptimized, optimized}` instrumented run must agree on
+//!    exit status and printed output. A well-defined MiniC program never
+//!    observes the PAC machinery, so any divergence is a pipeline bug (or,
+//!    for hand-written attack programs, a detection — which is why the
+//!    committed corpus contains only post-fix *passing* programs).
+//! 2. **IR verification**: `rsti_ir::verify_module` must accept the module
+//!    after every pass boundary — lower, instrument, optimize.
+//! 3. **No panics**: every stage runs under `catch_unwind`; a panic anywhere
+//!    in the frontend, a pass, or the VM is a reportable failure even when
+//!    the output would otherwise agree.
+//!
+//! Failures carry a stable [`FailureKind::class_key`] so the delta-debugging
+//! reducer can insist that a shrunken candidate reproduces the *same* bug,
+//! not merely *a* bug.
+
+use rsti_core::{instrument, optimize_baseline, optimize_program, Mechanism};
+use rsti_frontend::ast::Item;
+use rsti_frontend::{ast_eq_items, compile, parse, print_items};
+use rsti_ir::verify_module;
+use rsti_ir::Module;
+use rsti_vm::{Image, Status, Trap, Vm};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Instruction budget per VM run. Generated programs finish in well under a
+/// million instructions; the cap exists so a reducer candidate that deletes a
+/// loop counter update cannot hang the campaign. Runs that exhaust fuel are
+/// treated as inconclusive (instrumented runs execute strictly more
+/// instructions than the baseline, so a shared cap would otherwise produce
+/// false divergences).
+pub const FUEL: u64 = 50_000_000;
+
+/// One oracle violation. The `detail`/`base`/`got` payloads are for humans;
+/// the machine identity of a failure is [`FailureKind::class_key`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureKind {
+    /// `parse(print(ast))` did not return the same AST (or failed to parse).
+    RoundTrip {
+        /// What broke: the parse error, or a note that the ASTs differ.
+        detail: String,
+    },
+    /// The frontend rejected a program it should accept.
+    CompileError {
+        /// The diagnostic message (line numbers stripped: they shift as the
+        /// reducer deletes statements, but the message is stable).
+        detail: String,
+    },
+    /// The frontend panicked instead of returning a diagnostic.
+    FrontendPanic {
+        /// Panic payload.
+        detail: String,
+    },
+    /// `verify_module` rejected the IR after a pass boundary.
+    VerifyReject {
+        /// Pass that produced the ill-formed module: `lower`, `instrument`,
+        /// or `optimize`.
+        stage: String,
+        /// Pipeline configuration label (e.g. `stwc+opt`).
+        config: String,
+        /// First verifier error.
+        detail: String,
+    },
+    /// An instrumentation or optimization pass panicked.
+    PassPanic {
+        /// Pass that panicked.
+        stage: String,
+        /// Pipeline configuration label.
+        config: String,
+        /// Panic payload.
+        detail: String,
+    },
+    /// The VM panicked (every abnormal stop must be a structured `Trap`).
+    VmPanic {
+        /// Pipeline configuration label.
+        config: String,
+        /// Panic payload.
+        detail: String,
+    },
+    /// Baseline and instrumented runs ended differently.
+    StatusDivergence {
+        /// Pipeline configuration label.
+        config: String,
+        /// Baseline status, `Debug`-formatted.
+        base: String,
+        /// Instrumented status, `Debug`-formatted.
+        got: String,
+    },
+    /// Same status, different printed output.
+    OutputDivergence {
+        /// Pipeline configuration label.
+        config: String,
+        /// First differing line, `base` vs `got`.
+        detail: String,
+    },
+}
+
+impl FailureKind {
+    /// Stable identity of the failure, used by the reducer to accept a
+    /// candidate only when it reproduces the *same* bug.
+    ///
+    /// Volatile payloads (panic messages, trap positions, output text) are
+    /// excluded: they legitimately change as the reducer deletes statements.
+    /// The component that failed — stage plus pipeline configuration — is
+    /// what identifies a bug. `CompileError` keeps its message because for a
+    /// frontend-reject bug the diagnostic *is* the identity.
+    pub fn class_key(&self) -> String {
+        match self {
+            FailureKind::RoundTrip { .. } => "roundtrip".into(),
+            FailureKind::CompileError { detail } => format!("compile_error:{detail}"),
+            FailureKind::FrontendPanic { .. } => "frontend_panic".into(),
+            FailureKind::VerifyReject { stage, config, .. } => {
+                format!("verify_reject:{stage}:{config}")
+            }
+            FailureKind::PassPanic { stage, config, .. } => {
+                format!("pass_panic:{stage}:{config}")
+            }
+            FailureKind::VmPanic { config, .. } => format!("vm_panic:{config}"),
+            FailureKind::StatusDivergence { config, .. } => {
+                format!("status_divergence:{config}")
+            }
+            FailureKind::OutputDivergence { config, .. } => {
+                format!("output_divergence:{config}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::RoundTrip { detail } => write!(f, "printer round-trip: {detail}"),
+            FailureKind::CompileError { detail } => write!(f, "compile error: {detail}"),
+            FailureKind::FrontendPanic { detail } => write!(f, "frontend panic: {detail}"),
+            FailureKind::VerifyReject { stage, config, detail } => {
+                write!(f, "verifier reject after {stage} ({config}): {detail}")
+            }
+            FailureKind::PassPanic { stage, config, detail } => {
+                write!(f, "panic in {stage} ({config}): {detail}")
+            }
+            FailureKind::VmPanic { config, detail } => write!(f, "VM panic ({config}): {detail}"),
+            FailureKind::StatusDivergence { config, base, got } => {
+                write!(f, "status divergence ({config}): baseline {base}, instrumented {got}")
+            }
+            FailureKind::OutputDivergence { config, detail } => {
+                write!(f, "output divergence ({config}): {detail}")
+            }
+        }
+    }
+}
+
+/// Short lowercase label for a mechanism, used in config labels and class
+/// keys (`Mechanism::name` returns the paper-style display name).
+fn mech_label(m: Mechanism) -> &'static str {
+    match m {
+        Mechanism::Stwc => "stwc",
+        Mechanism::Stc => "stc",
+        Mechanism::Stl => "stl",
+        Mechanism::Parts => "parts",
+    }
+}
+
+pub(crate) fn panic_msg(p: Box<dyn Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn run_image(img: &Image, config: &str) -> Result<(Status, Vec<String>), FailureKind> {
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let mut vm = Vm::new(img);
+        vm.set_fuel(FUEL);
+        vm.run()
+    }))
+    .map_err(|p| FailureKind::VmPanic { config: config.into(), detail: panic_msg(p) })?;
+    Ok((r.status, r.output))
+}
+
+fn check_verified(m: &Module, stage: &str, config: &str) -> Result<(), FailureKind> {
+    verify_module(m).map_err(|errs| FailureKind::VerifyReject {
+        stage: stage.into(),
+        config: config.into(),
+        detail: errs.first().map(|e| e.to_string()).unwrap_or_default(),
+    })
+}
+
+fn compare(
+    config: &str,
+    base: &(Status, Vec<String>),
+    got: &(Status, Vec<String>),
+) -> Result<(), FailureKind> {
+    let fuel_bound = |s: &Status| matches!(s, Status::Trapped(Trap::FuelExhausted));
+    if fuel_bound(&base.0) || fuel_bound(&got.0) {
+        return Ok(());
+    }
+    if base.0 != got.0 {
+        return Err(FailureKind::StatusDivergence {
+            config: config.into(),
+            base: format!("{:?}", base.0),
+            got: format!("{:?}", got.0),
+        });
+    }
+    if base.1 != got.1 {
+        let detail = base
+            .1
+            .iter()
+            .zip(got.1.iter())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {i}: `{a}` vs `{b}`"))
+            .unwrap_or_else(|| format!("{} vs {} output lines", base.1.len(), got.1.len()));
+        return Err(FailureKind::OutputDivergence { config: config.into(), detail });
+    }
+    Ok(())
+}
+
+/// Runs all three oracles on an AST, including the printer round-trip check
+/// against `items` itself. This is the entry point for generated programs
+/// and for reducer candidates.
+pub fn check_items(items: &[Item]) -> Result<(), FailureKind> {
+    let src = catch_unwind(AssertUnwindSafe(|| print_items(items)))
+        .map_err(|p| FailureKind::FrontendPanic { detail: format!("printer: {}", panic_msg(p)) })?;
+    let reparsed = catch_unwind(AssertUnwindSafe(|| parse(&src)))
+        .map_err(|p| FailureKind::FrontendPanic { detail: format!("parser: {}", panic_msg(p)) })?
+        .map_err(|e| FailureKind::RoundTrip { detail: format!("reparse failed: {}", e.msg) })?;
+    if !ast_eq_items(items, &reparsed) {
+        return Err(FailureKind::RoundTrip { detail: "parse(print(ast)) != ast".into() });
+    }
+    check_compiled(&src)
+}
+
+/// Runs the oracles on source text (corpus replay). The round-trip oracle
+/// checks `parse(print(parse(src))) == parse(src)`; the differential and
+/// verifier oracles are identical to [`check_items`].
+pub fn check_source(src: &str) -> Result<(), FailureKind> {
+    let items = catch_unwind(AssertUnwindSafe(|| parse(src)))
+        .map_err(|p| FailureKind::FrontendPanic { detail: format!("parser: {}", panic_msg(p)) })?
+        .map_err(|e| FailureKind::CompileError { detail: e.msg })?;
+    check_items(&items)
+}
+
+/// The differential and verifier oracles on already-round-tripped source.
+fn check_compiled(src: &str) -> Result<(), FailureKind> {
+    let m = catch_unwind(AssertUnwindSafe(|| compile(src, "fuzz")))
+        .map_err(|p| FailureKind::FrontendPanic { detail: panic_msg(p) })?
+        .map_err(|e| FailureKind::CompileError { detail: e.msg })?;
+    check_verified(&m, "lower", "baseline")?;
+
+    let img = Image::baseline(&m);
+    let base = run_image(&img, "baseline")?;
+
+    // Optimizer correctness on the uninstrumented module (mem2reg etc. must
+    // not change observable behaviour even before any PAC ops exist).
+    {
+        let config = "baseline+opt";
+        let mut om = m.clone();
+        catch_unwind(AssertUnwindSafe(|| optimize_baseline(&mut om))).map_err(|p| {
+            FailureKind::PassPanic {
+                stage: "optimize".into(),
+                config: config.into(),
+                detail: panic_msg(p),
+            }
+        })?;
+        check_verified(&om, "optimize", config)?;
+        let got = run_image(&Image::baseline(&om), config)?;
+        compare(config, &base, &got)?;
+    }
+
+    for mech in Mechanism::ALL {
+        for optimize in [false, true] {
+            let config = if optimize {
+                format!("{}+opt", mech_label(mech))
+            } else {
+                mech_label(mech).to_string()
+            };
+            let mut p = catch_unwind(AssertUnwindSafe(|| instrument(&m, mech))).map_err(|p| {
+                FailureKind::PassPanic {
+                    stage: "instrument".into(),
+                    config: config.clone(),
+                    detail: panic_msg(p),
+                }
+            })?;
+            check_verified(&p.module, "instrument", &config)?;
+            if optimize {
+                catch_unwind(AssertUnwindSafe(|| optimize_program(&mut p))).map_err(|e| {
+                    FailureKind::PassPanic {
+                        stage: "optimize".into(),
+                        config: config.clone(),
+                        detail: panic_msg(e),
+                    }
+                })?;
+                check_verified(&p.module, "optimize", &config)?;
+            }
+            let got = run_image(&Image::from_instrumented(&p), &config)?;
+            compare(&config, &base, &got)?;
+        }
+    }
+    Ok(())
+}

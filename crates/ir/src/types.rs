@@ -317,9 +317,13 @@ impl TypeTable {
             Type::I64 | Type::F64 | Type::Ptr(_) => 8,
             Type::Struct(sid) => {
                 let def = self.struct_def(*sid);
-                def.fields.iter().map(|f| self.size_of(f.ty)).sum()
+                def.fields
+                    .iter()
+                    .fold(0u64, |acc, f| acc.saturating_add(self.size_of(f.ty)))
             }
-            Type::Array(elem, n) => self.size_of(*elem) * n,
+            // Saturating: a declared `long a[<huge>]` must yield a size the
+            // VM's segment bound can reject, not a multiply overflow.
+            Type::Array(elem, n) => self.size_of(*elem).saturating_mul(*n),
             // A bare function type has no storage; only pointers to it do.
             Type::Func(_) => 0,
         }

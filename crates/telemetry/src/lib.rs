@@ -56,11 +56,15 @@ pub enum Phase {
     Optimize,
     /// VM: program execution.
     VmRun,
+    /// Fuzzing: grammar-directed program generation plus the oracle runs.
+    FuzzGen,
+    /// Fuzzing: delta-debugging minimization of a failing program.
+    FuzzMinimize,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Parse,
         Phase::Lower,
         Phase::CollectFacts,
@@ -68,6 +72,8 @@ impl Phase {
         Phase::Instrument,
         Phase::Optimize,
         Phase::VmRun,
+        Phase::FuzzGen,
+        Phase::FuzzMinimize,
     ];
 
     /// Stable serialized name.
@@ -80,6 +86,8 @@ impl Phase {
             Phase::Instrument => "instrument",
             Phase::Optimize => "optimize",
             Phase::VmRun => "vm_run",
+            Phase::FuzzGen => "fuzz_gen",
+            Phase::FuzzMinimize => "fuzz_minimize",
         }
     }
 }
@@ -141,11 +149,18 @@ pub enum CounterId {
     VmInstBranch,
     /// Everything else (malloc/free/print).
     VmInstOther,
+    // -- differential fuzzing --
+    /// Seeds run through the differential oracles.
+    FuzzSeedsRun,
+    /// Oracle failures observed.
+    FuzzFailures,
+    /// Candidate programs tried during delta-debugging minimization.
+    FuzzMinimizeAttempts,
 }
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [CounterId; 24] = [
+    pub const ALL: [CounterId; 27] = [
         CounterId::SignsInserted,
         CounterId::AuthsInserted,
         CounterId::AuthsElided,
@@ -170,6 +185,9 @@ impl CounterId {
         CounterId::VmInstPac,
         CounterId::VmInstBranch,
         CounterId::VmInstOther,
+        CounterId::FuzzSeedsRun,
+        CounterId::FuzzFailures,
+        CounterId::FuzzMinimizeAttempts,
     ];
 
     /// Stable serialized name.
@@ -199,6 +217,9 @@ impl CounterId {
             CounterId::VmInstPac => "vm_inst_pac",
             CounterId::VmInstBranch => "vm_inst_branch",
             CounterId::VmInstOther => "vm_inst_other",
+            CounterId::FuzzSeedsRun => "fuzz_seeds_run",
+            CounterId::FuzzFailures => "fuzz_failures",
+            CounterId::FuzzMinimizeAttempts => "fuzz_minimize_attempts",
         }
     }
 
@@ -755,12 +776,15 @@ mod tests {
             "classes_parts", "qarma_calls", "pac_memo_hits", "sched_memo_hits",
             "sched_memo_misses", "vm_pac_signs", "vm_pac_auths", "vm_auth_failures",
             "vm_traps", "vm_violations", "vm_inst_mem", "vm_inst_arith", "vm_inst_call",
-            "vm_inst_pac", "vm_inst_branch", "vm_inst_other",
+            "vm_inst_pac", "vm_inst_branch", "vm_inst_other", "fuzz_seeds_run",
+            "fuzz_failures", "fuzz_minimize_attempts",
         ];
         let got: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(got, expected_names, "counter taxonomy drifted");
-        let expected_phases =
-            ["parse", "lower", "collect_facts", "analyze", "instrument", "optimize", "vm_run"];
+        let expected_phases = [
+            "parse", "lower", "collect_facts", "analyze", "instrument", "optimize", "vm_run",
+            "fuzz_gen", "fuzz_minimize",
+        ];
         let got: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(got, expected_phases, "phase taxonomy drifted");
     }

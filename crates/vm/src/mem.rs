@@ -36,6 +36,15 @@ pub mod layout {
     pub const STACK_BASE: u64 = 0x7F00_0000_0000;
     /// Bytes between consecutive function addresses.
     pub const CODE_STRIDE: u64 = 16;
+    /// Largest size a single data segment may be created with (bytes).
+    ///
+    /// Segment sizes are program-influenceable (a huge global array grows
+    /// the globals segment), so an unchecked `vec![0u8; size]` would turn
+    /// a hostile-but-valid program into a host allocation abort instead of
+    /// a guest trap. 256 MiB is ~64x the default heap/stack arenas and far
+    /// above anything the workloads need, while staying trivially
+    /// allocatable on the host.
+    pub const MAX_SEGMENT: u64 = 256 << 20;
 }
 
 /// A memory access fault.
@@ -58,6 +67,14 @@ pub enum MemFault {
         /// Access size.
         len: u64,
     },
+    /// A segment was requested beyond [`layout::MAX_SEGMENT`] — the guest
+    /// program's data demands exceed what the VM will host.
+    SegmentTooLarge {
+        /// Segment base.
+        base: u64,
+        /// Requested size.
+        size: u64,
+    },
 }
 
 impl fmt::Display for MemFault {
@@ -67,6 +84,9 @@ impl fmt::Display for MemFault {
             MemFault::ReadOnly { addr } => write!(f, "write to read-only memory {addr:#x}"),
             MemFault::OutOfRange { addr, len } => {
                 write!(f, "access of {len} bytes at {addr:#x} crosses segment end")
+            }
+            MemFault::SegmentTooLarge { base, size } => {
+                write!(f, "segment at {base:#x} requested with {size} bytes (limit {})", layout::MAX_SEGMENT)
             }
         }
     }
@@ -87,22 +107,34 @@ pub struct Memory {
 
 impl Memory {
     /// Creates memory with the given segment sizes (bytes).
-    pub fn new(global_size: u64, str_size: u64, heap_size: u64, stack_size: u64) -> Self {
+    ///
+    /// # Errors
+    /// Returns [`MemFault::SegmentTooLarge`] when any requested segment
+    /// exceeds [`layout::MAX_SEGMENT`] — segment sizes derive from the
+    /// guest program (global arrays, arena configuration), so an absurd
+    /// request must become a reportable fault, not a host `vec![0u8; n]`
+    /// capacity panic or OOM abort.
+    pub fn new(
+        global_size: u64,
+        str_size: u64,
+        heap_size: u64,
+        stack_size: u64,
+    ) -> Result<Self, MemFault> {
         use layout::*;
-        let seg = |base: u64, size: u64, writable: bool, attacker: bool| Segment {
-            base,
-            data: vec![0u8; size as usize],
-            writable,
-            attacker,
+        let seg = |base: u64, size: u64, writable: bool, attacker: bool| {
+            if size > MAX_SEGMENT {
+                return Err(MemFault::SegmentTooLarge { base, size });
+            }
+            Ok(Segment { base, data: vec![0u8; size as usize], writable, attacker })
         };
-        Memory {
+        Ok(Memory {
             segments: vec![
-                seg(GLOBAL_BASE, global_size.max(8), true, true),
-                seg(STR_BASE, str_size.max(8), false, true),
-                seg(HEAP_BASE, heap_size.max(64), true, true),
-                seg(STACK_BASE, stack_size.max(64), true, true),
+                seg(GLOBAL_BASE, global_size.max(8), true, true)?,
+                seg(STR_BASE, str_size.max(8), false, true)?,
+                seg(HEAP_BASE, heap_size.max(64), true, true)?,
+                seg(STACK_BASE, stack_size.max(64), true, true)?,
             ],
-        }
+        })
     }
 
     /// Segment index for an address. The four segments sit in disjoint
@@ -129,7 +161,11 @@ impl Memory {
     pub fn read(&self, addr: u64, len: u64) -> Result<&[u8], MemFault> {
         let si = self.seg_of(addr).ok_or(MemFault::Unmapped { addr })?;
         let s = &self.segments[si];
-        let off = (addr - s.base) as usize;
+        // checked_sub, not `-`: the offset must never be computed before
+        // (or independently of) the `addr >= base` validation — an
+        // unsigned underflow here panics in debug and silently wraps to a
+        // huge offset in release.
+        let off = addr.checked_sub(s.base).ok_or(MemFault::OutOfRange { addr, len })? as usize;
         let end = off.checked_add(len as usize).ok_or(MemFault::OutOfRange { addr, len })?;
         if end > s.data.len() {
             return Err(MemFault::OutOfRange { addr, len });
@@ -147,8 +183,8 @@ impl Memory {
         if !s.writable {
             return Err(MemFault::ReadOnly { addr });
         }
-        let off = (addr - s.base) as usize;
         let len = bytes.len() as u64;
+        let off = addr.checked_sub(s.base).ok_or(MemFault::OutOfRange { addr, len })? as usize;
         let end = off
             .checked_add(bytes.len())
             .ok_or(MemFault::OutOfRange { addr, len })?;
@@ -170,7 +206,7 @@ impl Memory {
         if !s.writable {
             return Err(MemFault::ReadOnly { addr });
         }
-        let off = (addr - s.base) as usize;
+        let off = addr.checked_sub(s.base).ok_or(MemFault::OutOfRange { addr, len })? as usize;
         let end = off.checked_add(len as usize).ok_or(MemFault::OutOfRange { addr, len })?;
         if end > s.data.len() {
             return Err(MemFault::OutOfRange { addr, len });
@@ -192,8 +228,8 @@ impl Memory {
         if !s.attacker {
             return Err(MemFault::ReadOnly { addr });
         }
-        let off = (addr - s.base) as usize;
         let len = bytes.len() as u64;
+        let off = addr.checked_sub(s.base).ok_or(MemFault::OutOfRange { addr, len })? as usize;
         let end = off
             .checked_add(bytes.len())
             .ok_or(MemFault::OutOfRange { addr, len })?;
@@ -234,20 +270,27 @@ impl Allocator {
     pub fn new(heap_size: u64) -> Self {
         Allocator {
             next: layout::HEAP_BASE,
-            limit: layout::HEAP_BASE + heap_size,
+            limit: layout::HEAP_BASE.saturating_add(heap_size),
             live: Vec::new(),
             freed: Vec::new(),
         }
     }
 
     /// Allocates `size` bytes (8-byte aligned); `None` when exhausted.
+    ///
+    /// Every step is checked: `size` is attacker-influenceable (a guest
+    /// `malloc(n)` with arbitrary `n`), and near-`u64::MAX` requests used
+    /// to overflow the alignment round-up — a debug panic, and in release
+    /// a silent wrap to a tiny allocation. Overflow now reports
+    /// exhaustion, which the VM surfaces as a `HeapExhausted` trap.
     pub fn malloc(&mut self, size: u64) -> Option<u64> {
-        let size = size.max(1).div_ceil(8) * 8;
-        if self.next + size > self.limit {
+        let size = size.max(1).checked_add(7)? & !7;
+        let end = self.next.checked_add(size)?;
+        if end > self.limit {
             return None;
         }
         let addr = self.next;
-        self.next += size;
+        self.next = end;
         self.live.push((addr, size));
         Some(addr)
     }
@@ -271,7 +314,7 @@ mod tests {
 
     #[test]
     fn segmented_read_write() {
-        let mut m = Memory::new(64, 64, 256, 256);
+        let mut m = Memory::new(64, 64, 256, 256).unwrap();
         m.write_u64(layout::GLOBAL_BASE + 8, 0xDEAD).unwrap();
         assert_eq!(m.read_u64(layout::GLOBAL_BASE + 8).unwrap(), 0xDEAD);
         assert!(matches!(m.read_u64(0x1234), Err(MemFault::Unmapped { .. })));
@@ -279,7 +322,7 @@ mod tests {
 
     #[test]
     fn strings_are_program_read_only_but_attacker_writable() {
-        let mut m = Memory::new(64, 64, 64, 64);
+        let mut m = Memory::new(64, 64, 64, 64).unwrap();
         let a = layout::STR_BASE;
         assert!(matches!(m.write(a, b"x"), Err(MemFault::ReadOnly { .. })));
         m.attacker_write(a, b"x").unwrap();
@@ -288,11 +331,55 @@ mod tests {
 
     #[test]
     fn out_of_range_detected() {
-        let m = Memory::new(16, 16, 16, 16);
+        let m = Memory::new(16, 16, 16, 16).unwrap();
         assert!(matches!(
             m.read(layout::GLOBAL_BASE + 12, 8),
             Err(MemFault::OutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn address_below_segment_base_faults_instead_of_underflowing() {
+        // Fuzz-harvested (rsti-fuzz): every accessor used to compute
+        // `(addr - s.base) as usize` with an unchecked subtraction; an
+        // address below the segment base must fault, never underflow.
+        let mut m = Memory::new(64, 64, 64, 64).unwrap();
+        for base in [layout::GLOBAL_BASE, layout::STR_BASE, layout::HEAP_BASE, layout::STACK_BASE]
+        {
+            let below = base - 1;
+            assert!(m.read(below, 8).is_err(), "read below {base:#x}");
+            assert!(m.write(below, &[0; 8]).is_err(), "write below {base:#x}");
+            assert!(m.write_zeros(below, 8).is_err(), "zeros below {base:#x}");
+            assert!(m.attacker_write(below, &[0; 8]).is_err(), "attacker below {base:#x}");
+        }
+    }
+
+    #[test]
+    fn oversized_segment_request_is_a_fault_not_a_panic() {
+        // Fuzz-harvested: `vec![0u8; size as usize]` on a huge guest-driven
+        // size used to abort the host with a capacity panic / OOM.
+        assert!(matches!(
+            Memory::new(u64::MAX, 8, 8, 8),
+            Err(MemFault::SegmentTooLarge { base: layout::GLOBAL_BASE, .. })
+        ));
+        assert!(matches!(
+            Memory::new(8, 8, layout::MAX_SEGMENT + 1, 8),
+            Err(MemFault::SegmentTooLarge { base: layout::HEAP_BASE, .. })
+        ));
+        assert!(Memory::new(8, 8, layout::MAX_SEGMENT, 64).is_ok());
+    }
+
+    #[test]
+    fn malloc_of_near_max_size_returns_none() {
+        // Fuzz-harvested: the 8-byte alignment round-up used to overflow
+        // for sizes in the top 8 bytes of the u64 range (debug panic,
+        // release wrap-to-tiny-allocation).
+        let mut a = Allocator::new(1024);
+        assert_eq!(a.malloc(u64::MAX), None);
+        assert_eq!(a.malloc(u64::MAX - 7), None);
+        assert_eq!(a.malloc(i64::MAX as u64), None);
+        // The allocator is still usable after rejecting them.
+        assert!(a.malloc(16).is_some());
     }
 
     #[test]

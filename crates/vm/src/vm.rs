@@ -576,8 +576,10 @@ impl<'img> Vm<'img> {
         let mut gaddr = Vec::with_capacity(m.globals.len());
         let mut goff = 0u64;
         for g in &m.globals {
-            gaddr.push(layout::GLOBAL_BASE + goff);
-            goff += m.types.size_of(g.ty).max(8).div_ceil(8) * 8;
+            gaddr.push(layout::GLOBAL_BASE.saturating_add(goff));
+            // Saturating: absurd global sizes must survive layout so the
+            // segment-size check below can reject them with a trap.
+            goff = goff.saturating_add(m.types.size_of(g.ty).max(8).div_ceil(8).saturating_mul(8));
         }
         // Strings layout.
         let mut saddr = Vec::with_capacity(m.strings.len());
@@ -586,13 +588,25 @@ impl<'img> Vm<'img> {
             saddr.push(layout::STR_BASE + soff);
             soff += s.len() as u64 + 1;
         }
-        let mut mem = Memory::new(goff.max(8), soff.max(8), img.heap_size, img.stack_size);
+        // Segment sizes are program-derived (a huge global array inflates
+        // `goff`); an oversized request loads into an already-trapped VM,
+        // mirroring the no-`main` path below, instead of aborting the host.
+        let (mut mem, mem_fault) =
+            match Memory::new(goff.max(8), soff.max(8), img.heap_size, img.stack_size) {
+                Ok(mem) => (mem, None),
+                Err(fault) => (
+                    Memory::new(8, 8, 64, 64).expect("minimal layout fits"),
+                    Some(fault),
+                ),
+            };
         // String contents (program-read-only segment; written here via the
         // loader's privileged path).
-        for (s, &a) in m.strings.iter().zip(&saddr) {
-            let mut bytes = s.as_bytes().to_vec();
-            bytes.push(0);
-            mem.attacker_write(a, &bytes).expect("string fits");
+        if mem_fault.is_none() {
+            for (s, &a) in m.strings.iter().zip(&saddr) {
+                let mut bytes = s.as_bytes().to_vec();
+                bytes.push(0);
+                mem.attacker_write(a, &bytes).expect("string fits");
+            }
         }
         let mut pac = PacUnit::new(&img.keys, img.va);
         // Global initializers.
@@ -616,10 +630,12 @@ impl<'img> Vm<'img> {
                 }
             }
         };
-        vm_init(&mut mem);
+        if mem_fault.is_none() {
+            vm_init(&mut mem);
+        }
         // Load-time signing of static pointer initializers.
         let mut boot_macs: Vec<(u64, u64)> = Vec::new();
-        for gs in &img.global_signing {
+        for gs in img.global_signing.iter().filter(|_| mem_fault.is_none()) {
             let a = gaddr[gs.global.0 as usize];
             let raw = mem.read_u64(a).expect("global mapped");
             if raw == 0 {
@@ -667,10 +683,18 @@ impl<'img> Vm<'img> {
             audit: Vec::new(),
             telemetry_flushed: false,
         };
-        // A malformed image (no `main`, or a `main` that cannot get a
-        // frame) loads into an already-trapped VM instead of aborting the
-        // process: `run` then reports `Trap::BadProgram` like any other
-        // failure, and the audit/telemetry path still sees the run.
+        // A malformed image (no `main`, a `main` that cannot get a frame,
+        // or data demands beyond what the VM hosts) loads into an
+        // already-trapped VM instead of aborting the process: `run` then
+        // reports the trap like any other failure, and the
+        // audit/telemetry path still sees the run.
+        if let Some(fault) = mem_fault {
+            vm.status = Some(Status::Trapped(Trap::Mem {
+                func: "<loader>".into(),
+                fault,
+            }));
+            return vm;
+        }
         match m.func_by_name("main") {
             Some(main) => {
                 if let Err(t) = vm.push_frame(main, &[], None) {
@@ -1408,9 +1432,11 @@ impl<'img> Vm<'img> {
                     self.set(*result, RtVal::P(cached));
                     return Ok(());
                 }
-                let size = self.tl.size_of(*ty).max(1).div_ceil(8) * 8;
+                let size = self.tl.size_of(*ty).max(1).div_ceil(8).saturating_mul(8);
                 let addr = self.stack_top;
-                if addr + size >= layout::STACK_BASE + self.img.stack_size {
+                if addr.checked_add(size).is_none_or(|end| {
+                    end >= layout::STACK_BASE + self.img.stack_size
+                }) {
                     return Err(Trap::StackOverflow);
                 }
                 self.stack_top += size;
@@ -1466,7 +1492,10 @@ impl<'img> Vm<'img> {
                     }
                 };
                 let sz = self.tl.size_of(*elem_ty).max(1) as i64;
-                self.set(*result, RtVal::P(b.wrapping_add((i * sz) as u64)));
+                // Wrapping, like the pointer add: a huge index times the
+                // element size is a bad *address* (faults on deref), not a
+                // host panic.
+                self.set(*result, RtVal::P(b.wrapping_add(i.wrapping_mul(sz) as u64)));
                 Ok(())
             }
             Inst::BitCast { result, value, .. } => {
