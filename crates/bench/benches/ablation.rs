@@ -68,14 +68,25 @@ fn main() {
             assert!(matches!(r.status, Status::Exited(0)));
             r.cycles
         });
-        let mut optp = rsti_core::instrument(&m, rsti_core::Mechanism::Stwc);
-        let elided = rsti_core::optimize_program(&mut optp);
-        assert!(elided > 0);
-        let opt = Image::from_instrumented(&optp);
-        bench_with_target("ablation/auth-elision/stwc-elided", Duration::from_millis(500), || {
-            let r = Vm::new(&opt).run();
-            assert!(matches!(r.status, Status::Exited(0)));
-            r.cycles
-        });
+        // Block-local elision only vs the full CFG pipeline (dominator
+        // elision + loop hoisting + premods) — the delta the CFG stages buy.
+        for (label, level) in [
+            ("stwc-block-local", rsti_core::OptLevel::BlockLocal),
+            ("stwc-cfg", rsti_core::OptLevel::Cfg),
+        ] {
+            let mut optp = rsti_core::instrument(&m, rsti_core::Mechanism::Stwc);
+            let s = rsti_core::optimize_module(&mut optp.module, level);
+            assert!(s.total() > 0);
+            let opt = Image::from_instrumented(&optp);
+            bench_with_target(
+                &format!("ablation/auth-elision/{label}"),
+                Duration::from_millis(500),
+                || {
+                    let r = Vm::new(&opt).run();
+                    assert!(matches!(r.status, Status::Exited(0)));
+                    r.cycles
+                },
+            );
+        }
     }
 }

@@ -1,9 +1,24 @@
-//! The optimization ablation (§4.7.2 / §6.3.2): overhead with naive
-//! instrumentation vs with redundant-authentication elision — the
-//! reproduction's stand-in for "intrinsics optimized by the compiler".
+//! The optimization ablation (§4.7.2 / §6.3.2): what each optimizer level
+//! buys, statically and dynamically.
+//!
+//! Two tables:
+//!
+//! 1. The historical staged sweep (naive → +inline → +promote → +full) on
+//!    the SPEC2006 proxies — the reproduction's stand-in for "intrinsics
+//!    optimized by the compiler".
+//! 2. The per-mechanism dynamic-check-reduction table on the loop-heavy
+//!    nbench + NGINX mix: executed `aut` counts at `none` / `block` /
+//!    `cfg`, per mechanism. This is the acceptance gate for the CFG
+//!    optimizer — the process exits non-zero if the CFG level fails to
+//!    *strictly* reduce dynamic auths vs block-local for any mechanism,
+//!    which is what the CI opt-ablation smoke step checks.
+//!
+//! The second table is also written to `reports/opt_compare.md`.
 
-use rsti_core::Mechanism;
+use rsti_bench::overhead::{measure_at, MECHS};
+use rsti_core::{Mechanism, OptLevel};
 use rsti_vm::{Image, Status, Vm};
+use std::fmt::Write as _;
 
 fn cycles(img: &Image) -> u64 {
     let mut vm = Vm::new(img);
@@ -13,7 +28,7 @@ fn cycles(img: &Image) -> u64 {
     r.cycles
 }
 
-fn main() {
+fn staged_table() {
     println!(
         "Optimization-pipeline ablation over SPEC2006 proxies\n\
          (STWC overhead %% vs the *unoptimized* baseline at each stage —\n\
@@ -21,7 +36,7 @@ fn main() {
     );
     println!(
         "{:<12} {:>9} {:>9} {:>9} {:>9}",
-        "BM", "naive", "+inline", "+promote", "+elide"
+        "BM", "naive", "+inline", "+promote", "+full"
     );
     for w in rsti_workloads::spec2006() {
         let m0 = w.module();
@@ -45,7 +60,7 @@ fn main() {
         rsti_core::optimize::promote_single_store_slots(&mut p2.module);
         rsti_core::optimize::patch_placeholder_types(&mut p2.module);
         let s2 = pct(cycles(&Image::from_instrumented(&p2)));
-        // Stage 3: + redundant-auth elision (the full pipeline).
+        // Stage 3: the full CFG pipeline (elision + hoisting + premods).
         let mut p3 = rsti_core::instrument(&m1, Mechanism::Stwc);
         rsti_core::optimize_program(&mut p3);
         let s3 = pct(cycles(&Image::from_instrumented(&p3)));
@@ -57,8 +72,101 @@ fn main() {
     }
     println!(
         "\nStages: leaf inlining models LTO; promotion keeps authenticated\n\
-         pointers in registers (§4.7.2); elision removes same-block\n\
-         re-checks. All are sound under the §3 threat model (registers are\n\
-         out of the attacker's reach) and differential-tested."
+         pointers in registers (§4.7.2); the full pipeline adds block-local\n\
+         and dominator-based elision, loop-invariant auth hoisting, and\n\
+         precomputed PAC modifiers. All are sound under the §3 threat model\n\
+         (registers are out of the attacker's reach) and differential-tested.\n"
     );
+}
+
+fn main() {
+    staged_table();
+
+    // Per-mechanism dynamic-check reduction on the loop-heavy mix.
+    let ws: Vec<_> =
+        rsti_workloads::nbench().into_iter().chain(rsti_workloads::nginx()).collect();
+    let levels = [OptLevel::None, OptLevel::BlockLocal, OptLevel::Cfg];
+
+    // totals[level][mech] = (cycles, signs, auths), summed over workloads.
+    let mut totals = [[(0u64, 0u64, 0u64); 3]; 3];
+    for (li, level) in levels.iter().enumerate() {
+        for w in &ws {
+            let row = measure_at(w, *level)
+                .unwrap_or_else(|e| panic!("opt_compare at {}: {e}", level.label()));
+            for (mi, t) in totals[li].iter_mut().enumerate() {
+                t.0 += row.cycles[mi];
+                t.1 += row.pac_signs[mi];
+                t.2 += row.pac_auths[mi];
+            }
+        }
+    }
+
+    let mut md = String::from(
+        "# Dynamic check reduction per optimizer level\n\n\
+         Loop-heavy mix (nbench + NGINX proxies), executed PAC operation\n\
+         counts summed over the suite. `Δauths vs block` is the extra\n\
+         reduction the CFG stages (dominator elision, loop hoisting) buy\n\
+         over the block-local pipeline.\n\n\
+         | mechanism | level | cycles | signs | auths | Δauths vs block |\n\
+         |---|---|---:|---:|---:|---:|\n",
+    );
+    println!(
+        "Dynamic checks (nbench + NGINX), per mechanism and optimizer level:\n\n\
+         {:<6} {:<6} {:>12} {:>10} {:>10} {:>16}",
+        "mech", "level", "cycles", "signs", "auths", "d-auths vs block"
+    );
+    let mut cfg_regression = false;
+    for (mi, mech) in MECHS.iter().enumerate() {
+        let block_auths = totals[1][mi].2;
+        for (li, level) in levels.iter().enumerate() {
+            let (cyc, signs, auths) = totals[li][mi];
+            let delta = if *level == OptLevel::Cfg {
+                format!("{:+}", auths as i64 - block_auths as i64)
+            } else {
+                "-".to_string()
+            };
+            println!(
+                "{:<6} {:<6} {:>12} {:>10} {:>10} {:>16}",
+                mech.name(),
+                level.label(),
+                cyc,
+                signs,
+                auths,
+                delta
+            );
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {} | {} | {} |",
+                mech.name(),
+                level.label(),
+                cyc,
+                signs,
+                auths,
+                delta
+            );
+        }
+        let cfg_auths = totals[2][mi].2;
+        if cfg_auths >= block_auths {
+            cfg_regression = true;
+            println!(
+                "REGRESSION: {} cfg auths ({cfg_auths}) not below block-local ({block_auths})",
+                mech.name()
+            );
+        }
+    }
+    let _ = writeln!(
+        md,
+        "\nGate: the CFG level must execute strictly fewer auths than\n\
+         block-local for every mechanism — status: {}.\n",
+        if cfg_regression { "**FAILED**" } else { "ok" }
+    );
+    match std::fs::create_dir_all("reports")
+        .and_then(|()| std::fs::write("reports/opt_compare.md", &md))
+    {
+        Ok(()) => println!("\nwrote reports/opt_compare.md"),
+        Err(e) => println!("\ncannot write reports/opt_compare.md: {e}"),
+    }
+    if cfg_regression {
+        std::process::exit(1);
+    }
 }

@@ -9,9 +9,15 @@
 //! instructions/second is wall-clock and machine-dependent, which is fine
 //! for a trajectory: the recorded pre/post pair in one run comes from the
 //! same machine.
+//!
+//! Besides the headline (full-pipeline) trajectory, the JSON carries an
+//! `opt_levels` section: the same mix at `none` / `block` / `cfg`, with
+//! executed `aut` counts, so the check-optimizer's dynamic effect is
+//! recorded next to the throughput it buys.
 
-use rsti_core::Mechanism;
+use rsti_core::{Mechanism, OptLevel};
 use rsti_vm::{Image, Status, Vm};
+use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Interpreter instructions/second measured on this codebase *before* the
@@ -26,21 +32,23 @@ struct MixResult {
     insts: u64,
     cycles: u64,
     secs: f64,
+    pac_auths: u64,
 }
 
-fn run_mix(repeats: u32) -> MixResult {
+fn run_mix(repeats: u32, level: OptLevel) -> MixResult {
     let mut insts = 0u64;
     let mut cycles = 0u64;
     let mut secs = 0f64;
+    let mut pac_auths = 0u64;
     let ws: Vec<_> = rsti_workloads::nbench().into_iter().chain(rsti_workloads::nginx()).collect();
     for w in &ws {
         let mut m = w.module();
         rsti_core::inline_leaf_functions(&mut m, 96);
         let mut mb = m.clone();
-        rsti_core::optimize_baseline(&mut mb);
+        rsti_core::optimize_module(&mut mb, level);
         let base_img = Image::baseline_owned(mb);
         let mut p = rsti_core::instrument(&m, Mechanism::Stwc);
-        rsti_core::optimize_program(&mut p);
+        rsti_core::optimize_module(&mut p.module, level);
         let stwc_img = Image::from_instrumented_owned(p);
         for img in [&base_img, &stwc_img] {
             for _ in 0..repeats {
@@ -57,10 +65,11 @@ fn run_mix(repeats: u32) -> MixResult {
                 );
                 insts += r.insts;
                 cycles += r.cycles;
+                pac_auths += r.pac_auths;
             }
         }
     }
-    MixResult { insts, cycles, secs }
+    MixResult { insts, cycles, secs, pac_auths }
 }
 
 fn main() {
@@ -73,17 +82,18 @@ fn main() {
     // of landing entirely on one side.
     let tel = rsti_telemetry::global();
     tel.disable();
-    run_mix(1);
-    let mut m = MixResult { insts: 0, cycles: 0, secs: 0.0 };
-    let mut t = MixResult { insts: 0, cycles: 0, secs: 0.0 };
+    run_mix(1, OptLevel::Cfg);
+    let mut m = MixResult { insts: 0, cycles: 0, secs: 0.0, pac_auths: 0 };
+    let mut t = MixResult { insts: 0, cycles: 0, secs: 0.0, pac_auths: 0 };
     for _ in 0..6 {
         tel.disable();
-        let r = run_mix(1);
+        let r = run_mix(1, OptLevel::Cfg);
         m.insts += r.insts;
         m.cycles += r.cycles;
         m.secs += r.secs;
+        m.pac_auths += r.pac_auths;
         tel.enable();
-        let r = run_mix(1);
+        let r = run_mix(1, OptLevel::Cfg);
         t.insts += r.insts;
         t.cycles += r.cycles;
         t.secs += r.secs;
@@ -103,6 +113,35 @@ fn main() {
     println!("  pre-change insts/sec  : {:.0}  (x{:.2})", PRE_CHANGE_INSTS_PER_SEC, speedup);
     println!("  telemetry-on insts/s  : {:.0}  (enabled costs {:+.2}%)", ips_on, on_delta_pct);
 
+    // The optimizer-level ablation on the same mix: fewer executed checks
+    // ⇒ fewer instructions ⇒ more useful work per second. One round per
+    // level (cycle totals and auth counts are deterministic; insts/sec is
+    // indicative).
+    let mut levels_json = String::new();
+    println!("  per-opt-level (same mix, 1 round each):");
+    for (i, level) in OptLevel::ALL.iter().enumerate() {
+        let r = run_mix(1, *level);
+        let lips = r.insts as f64 / r.secs;
+        println!(
+            "    {:<6} insts/sec {:>12.0}  cycles {:>12}  auths {:>9}",
+            level.label(),
+            lips,
+            r.cycles,
+            r.pac_auths
+        );
+        let _ = write!(
+            levels_json,
+            "{}    {{\"level\": \"{}\", \"insts_per_sec\": {:.0}, \"instructions\": {}, \
+             \"cycle_model_total\": {}, \"pac_auths\": {}}}",
+            if i == 0 { "" } else { ",\n" },
+            level.label(),
+            lips,
+            r.insts,
+            r.cycles,
+            r.pac_auths
+        );
+    }
+
     // Hand-rolled JSON (the workspace is dependency-free by design).
     let json = format!(
         "{{\n  \"bench\": \"vm_throughput\",\n  \"workload_mix\": \"nbench+nginx, baseline+stwc\",\n  \
@@ -110,7 +149,8 @@ fn main() {
          \"insts_per_sec\": {ips:.0},\n  \"speedup_vs_pre_change\": {speedup:.3},\n  \
          \"instructions\": {},\n  \"cycle_model_total\": {},\n  \"wall_seconds\": {:.4},\n  \
          \"telemetry_on_insts_per_sec\": {ips_on:.0},\n  \
-         \"telemetry_enabled_cost_pct\": {on_delta_pct:.2}\n}}\n",
+         \"telemetry_enabled_cost_pct\": {on_delta_pct:.2},\n  \
+         \"opt_levels\": [\n{levels_json}\n  ]\n}}\n",
         m.insts, m.cycles, m.secs
     );
     std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");

@@ -6,7 +6,7 @@
 //! (PA op = 7 ALU ops, the paper's own emulation factor) reproduces the
 //! *shape*: STC < STWC < STL, pointer-heavy outliers, near-zero nbench.
 
-use rsti_core::Mechanism;
+use rsti_core::{Mechanism, OptLevel};
 use rsti_vm::{Image, Status, Vm};
 use rsti_workloads::{Suite, Workload};
 use std::fmt;
@@ -73,7 +73,8 @@ fn run_measured(img: &Image, workload: &str) -> Result<rsti_vm::ExecResult, Meas
     Ok(r)
 }
 
-/// Measures one workload under the baseline and all three mechanisms.
+/// Measures one workload under the baseline and all three mechanisms, at
+/// the full (CFG) optimization level.
 ///
 /// Both sides run through the O2-model optimizer (register promotion +
 /// redundant-auth elision), mirroring the paper's "compiled with LTO and
@@ -83,10 +84,22 @@ fn run_measured(img: &Image, workload: &str) -> Result<rsti_vm::ExecResult, Meas
 /// Returns [`MeasureError`] when any of the four runs traps or exits
 /// non-zero.
 pub fn measure(w: &Workload) -> Result<OverheadRow, MeasureError> {
+    measure_at(w, OptLevel::Cfg)
+}
+
+/// [`measure`] at an explicit optimizer level — the knob behind the
+/// `opt_compare` ablation (block-local vs CFG rows per mechanism). The
+/// baseline side always gets the same level, so each row is a fair
+/// comparison at that level.
+///
+/// # Errors
+/// Returns [`MeasureError`] when any of the four runs traps or exits
+/// non-zero.
+pub fn measure_at(w: &Workload, level: OptLevel) -> Result<OverheadRow, MeasureError> {
     let mut m = w.module();
     rsti_core::inline_leaf_functions(&mut m, 96);
     let mut mb = m.clone();
-    rsti_core::optimize_baseline(&mut mb);
+    rsti_core::optimize_module(&mut mb, level);
     let base = run_measured(&Image::baseline_owned(mb), w.name)?.cycles;
     let mut cycles = [0u64; 3];
     let mut pct = [0f64; 3];
@@ -95,7 +108,7 @@ pub fn measure(w: &Workload) -> Result<OverheadRow, MeasureError> {
     let mut pac_auths = [0u64; 3];
     for (i, mech) in MECHS.iter().enumerate() {
         let mut p = rsti_core::instrument(&m, *mech);
-        rsti_core::optimize_program(&mut p);
+        rsti_core::optimize_module(&mut p.module, level);
         if *mech == Mechanism::Stwc {
             sites = p.stats.signs_on_store + p.stats.auths_on_load;
         }
@@ -367,6 +380,65 @@ mod tests {
         assert_eq!(s_auths, p_auths);
         assert!(s_signs.iter().all(|&n| n > 0), "{s_signs:?}");
         assert!(s_auths.iter().all(|&n| n > 0), "{s_auths:?}");
+    }
+
+    /// The CFG-optimizer acceptance property on the loop-heavy mix: for
+    /// every mechanism, the CFG level executes *strictly* fewer dynamic
+    /// auths than block-local elision alone, while status and output stay
+    /// bit-identical across all three levels.
+    #[test]
+    fn cfg_strictly_reduces_dynamic_auths_vs_block_local() {
+        let ws: Vec<_> =
+            rsti_workloads::nbench().into_iter().chain(rsti_workloads::nginx()).collect();
+        // auths[level][mech], summed over the suite.
+        let mut auths = [[0u64; 3]; 3];
+        for w in &ws {
+            let mut m = w.module();
+            rsti_core::inline_leaf_functions(&mut m, 96);
+            for (mi, mech) in MECHS.iter().enumerate() {
+                let mut reference: Option<(Status, Vec<String>)> = None;
+                for (li, level) in OptLevel::ALL.iter().enumerate() {
+                    let mut p = rsti_core::instrument(&m, *mech);
+                    rsti_core::optimize_module(&mut p.module, *level);
+                    let img = Image::from_instrumented_owned(p);
+                    let mut vm = Vm::new(&img);
+                    vm.set_fuel(200_000_000);
+                    let r = vm.run();
+                    assert!(
+                        matches!(r.status, Status::Exited(0)),
+                        "{} {} {}: {:?}",
+                        w.name,
+                        mech.name(),
+                        level.label(),
+                        r.status
+                    );
+                    match &reference {
+                        None => reference = Some((r.status.clone(), r.output.clone())),
+                        Some((s, o)) => {
+                            assert_eq!(&r.status, s, "{} {}", w.name, level.label());
+                            assert_eq!(&r.output, o, "{} {}", w.name, level.label());
+                        }
+                    }
+                    auths[li][mi] += r.pac_auths;
+                }
+            }
+        }
+        for (mi, mech) in MECHS.iter().enumerate() {
+            assert!(
+                auths[2][mi] < auths[1][mi],
+                "{}: cfg auths {} not strictly below block-local {}",
+                mech.name(),
+                auths[2][mi],
+                auths[1][mi]
+            );
+            assert!(
+                auths[1][mi] <= auths[0][mi],
+                "{}: block-local auths {} above unoptimized {}",
+                mech.name(),
+                auths[1][mi],
+                auths[0][mi]
+            );
+        }
     }
 
     #[test]

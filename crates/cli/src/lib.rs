@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive]
-//!                    [--backend pac|mac] [--optimize] [--stats]
+//!                    [--backend pac|mac] [--opt none|block|cfg] [--stats]
 //!                    [--trace out.jsonl]
-//! rsti profile <file.mc> [--mech ...] [--optimize] [--trace out.jsonl]
+//! rsti profile <file.mc> [--mech ...] [--opt none|block|cfg] [--trace out.jsonl]
 //! rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
 //! rsti instrument <file.mc> [--mech ...]        # dump instrumented IR
 //! rsti equivalence <file.mc>                    # Table 3 row for a file
@@ -31,7 +31,7 @@
 
 #![warn(missing_docs)]
 
-use rsti_core::{InstrumentStats, Mechanism};
+use rsti_core::{InstrumentStats, Mechanism, OptLevel};
 use rsti_vm::{ExecResult, Image, Status, Vm};
 use std::fmt::Write as _;
 
@@ -181,8 +181,10 @@ fn cmd_fuzz(args: &[String]) -> Result<(i32, String), String> {
 
 const USAGE: &str = "\
 usage:
-  rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac] [--optimize] [--stats] [--trace out.jsonl]
-  rsti profile <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--optimize] [--trace out.jsonl]
+  rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac] [--opt none|block|cfg] [--stats] [--trace out.jsonl]
+  rsti profile <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--opt none|block|cfg] [--trace out.jsonl]
+
+  --optimize is shorthand for --opt cfg (the full pipeline).
   rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
   rsti instrument <file.mc> [--mech stwc|stc|stl|parts]
   rsti equivalence <file.mc>
@@ -206,11 +208,28 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
+/// Resolves the optimization level from the flags: `--opt none|block|cfg`
+/// wins; the legacy boolean `--optimize` means the full (CFG) pipeline;
+/// the default is unoptimized.
+///
+/// # Errors
+/// Returns a message for unknown level names.
+pub fn parse_opt_level(args: &[String]) -> Result<OptLevel, String> {
+    if let Some(v) = flag_value(args, "--opt") {
+        return OptLevel::parse(v);
+    }
+    Ok(if args.iter().any(|a| a == "--optimize") {
+        OptLevel::Cfg
+    } else {
+        OptLevel::None
+    })
+}
+
 /// Instruments (or not) per the mechanism choice and builds the image.
 fn build_image(
     module: &rsti_ir::Module,
     choice: MechChoice,
-    optimize: bool,
+    level: OptLevel,
 ) -> (Image, Option<InstrumentStats>) {
     let instrumented = match choice {
         MechChoice::Baseline => return (Image::baseline(module), None),
@@ -220,9 +239,7 @@ fn build_image(
         MechChoice::Fixed(m) => rsti_core::instrument(module, m),
     };
     let mut p = instrumented;
-    if optimize {
-        rsti_core::optimize_program(&mut p);
-    }
+    rsti_core::optimize_program_at(&mut p, level);
     let stats = p.stats;
     (Image::from_instrumented(&p), Some(stats))
 }
@@ -281,8 +298,8 @@ fn dispatch(args: &[String]) -> Result<String, String> {
     match cmd.as_str() {
         "run" => {
             let mut out = String::new();
-            let optimize = args.iter().any(|a| a == "--optimize");
-            let (img, stats) = build_image(&module, choice, optimize);
+            let level = parse_opt_level(args)?;
+            let (img, stats) = build_image(&module, choice, level);
             let img = apply_backend(img, args)?;
             let mut vm = Vm::new(&img);
             let r = vm.run();
@@ -328,8 +345,8 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             Ok(out)
         }
         "profile" => {
-            let optimize = args.iter().any(|a| a == "--optimize");
-            let (img, _stats) = build_image(&module, choice, optimize);
+            let level = parse_opt_level(args)?;
+            let (img, _stats) = build_image(&module, choice, level);
             let img = apply_backend(img, args)?;
             let mut vm = Vm::new(&img);
             let r = vm.run();
@@ -482,6 +499,68 @@ mod tests {
         let (code, out) = run_cli(&["run".into(), f, "--backend".into(), "xyz".into()]);
         assert_eq!(code, 1);
         assert!(out.contains("unknown backend"), "{out}");
+    }
+
+    #[test]
+    fn opt_levels_parse_and_agree_on_output() {
+        let f = write_temp("rsti_cli_optlevels.mc", PROG);
+        let mut outputs = Vec::new();
+        for level in ["none", "block", "cfg"] {
+            let (code, out) = run_cli(&[
+                "run".into(),
+                f.clone(),
+                "--opt".into(),
+                level.into(),
+            ]);
+            assert_eq!(code, 0, "--opt {level}: {out}");
+            // Program-visible lines only (everything before `exit:` plus
+            // the status itself must be bit-identical across levels).
+            outputs.push(out);
+        }
+        assert_eq!(outputs[0], outputs[1], "none vs block");
+        assert_eq!(outputs[0], outputs[2], "none vs cfg");
+
+        let (code, out) = run_cli(&["run".into(), f, "--opt".into(), "turbo".into()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown opt level"), "{out}");
+    }
+
+    // Exercises every optimizer stage: `q` promotes (block counter), the
+    // loop header's `*p` pair hoists, and the body/join re-auths elide via
+    // the dominator dataflow.
+    const OPT_RICH_PROG: &str = r#"
+        int sink;
+        int main() {
+            int* q = (int*) malloc(4);
+            *q = 7;
+            int* p = (int*) malloc(4);
+            if (sink > 0) { p = (int*) malloc(4); }
+            *p = 0;
+            int i = 0;
+            while (*p < 5) {
+                *p = *p + 1;
+                i = i + 1;
+            }
+            print_int(*p + *q);
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn profile_reports_split_elision_counters() {
+        let f = write_temp("rsti_cli_prof_opt.mc", OPT_RICH_PROG);
+        let (code, out) = run_cli(&[
+            "profile".into(),
+            f,
+            "--mech".into(),
+            "stwc".into(),
+            "--opt".into(),
+            "cfg".into(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        for counter in ["auths_elided_block", "auths_elided_dom", "auths_hoisted"] {
+            assert!(out.contains(counter), "missing `{counter}`: {out}");
+        }
     }
 
     #[test]

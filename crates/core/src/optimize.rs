@@ -1,5 +1,5 @@
-//! Redundant-authentication elision — the optimization story behind the
-//! paper's numbers, made explicit.
+//! The check optimizer — the optimization story behind the paper's
+//! numbers, made explicit.
 //!
 //! The paper credits its low overhead to the compiler being allowed to
 //! optimize the PA instrumentation: "The LLVM pointer authentication
@@ -9,21 +9,46 @@
 //! attributes the 19.5%-vs-1.54% gap to exactly this (§6.3.2).
 //!
 //! Our MiniC lowering is -O0-style (every local in a slot), so the same
-//! pointer slot is often loaded — and re-authenticated — several times in
-//! a straight line. This pass removes the provably redundant re-checks:
-//! within one basic block, if slot `P` was loaded and authenticated under
-//! modifier `M`, a later identical load+auth pair can reuse the earlier
-//! authenticated value, as long as nothing in between could have changed
-//! memory (stores, calls, frees).
+//! pointer slot is often loaded — and re-authenticated — several times.
+//! One [`OptLevel`]-driven pipeline removes the provably redundant
+//! re-checks:
+//!
+//! * [`OptLevel::BlockLocal`] — single-store slot promotion (mem2reg)
+//!   plus a per-block available-auth cache: if slot `P` was loaded and
+//!   authenticated under modifier `M`, a later identical load+auth pair in
+//!   the same block reuses the earlier authenticated value, as long as
+//!   nothing in between could have changed memory (any store, call, free).
+//! * [`OptLevel::Cfg`] — adds the CFG-aware stages built on `rsti-ir`'s
+//!   dominator tree and loop forest: (1) **dominator-based elision** — the
+//!   per-block cache generalized to "available authentications" propagated
+//!   as a forward dataflow (meet = intersection over predecessors, reuse
+//!   gated on the defining block dominating the use) with *refined*
+//!   kill-sets: a store through an alloca's own address kills only that
+//!   slot, and calls/unknown stores cannot touch a slot whose address
+//!   never escaped; (2) **loop-invariant auth hoisting** — a header-
+//!   resident load+auth pair of a loop-invariant slot the loop never
+//!   writes moves to the loop preheader, so a hot loop pays one check per
+//!   entry instead of one per iteration (the header runs at least once
+//!   whenever the preheader does, so behaviour — traps included — is
+//!   preserved even for zero-trip loops); (3) **precomputed PAC
+//!   modifiers** — an STL location-mix (`M ^ &p`, Fig. 5c) whose location
+//!   is a global folds to a plain modifier at optimize time, because the
+//!   loader's global layout is deterministic
+//!   ([`rsti_ir::Module::global_addresses`]), letting the VM skip
+//!   per-execution modifier derivation.
 //!
 //! Like keeping authenticated pointers in registers on real hardware,
-//! elision trades a *narrower re-check window* for speed: corruption that
-//! lands between the first check and an elided one goes unnoticed until
-//! the value is next reloaded. That is precisely the paper's register
-//! residency semantics — registers are outside the §3 threat model.
+//! elision and hoisting trade a *narrower re-check window* for speed:
+//! corruption that lands between the first check and an elided one goes
+//! unnoticed until the value is next reloaded. That is precisely the
+//! paper's register-residency semantics — registers (and therefore the
+//! longer-lived authenticated values this pass creates) are outside the
+//! §3 threat model, which grants the attacker arbitrary *memory* writes
+//! only. Program outputs stay bit-identical across all levels for every
+//! mechanism; `verify_module` holds after every stage boundary.
 
-use rsti_ir::{Inst, InstNode, Module, Operand, ValueId};
-use std::collections::HashMap;
+use rsti_ir::{BlockId, Cfg, DomTree, Inst, InstNode, LoopForest, Module, Operand, PacKey, ValueId};
+use std::collections::{HashMap, HashSet};
 
 /// Runs elision over every function; returns the number of authentication
 /// operations removed.
@@ -377,31 +402,605 @@ fn promote_in_function(types: &rsti_ir::TypeTable, f: &mut rsti_ir::Function) ->
     promoted
 }
 
-/// The full optimization pipeline over an instrumented module. Returns
-/// the number of removed/promoted authentication sites.
-pub fn optimize_program(p: &mut crate::instrument::InstrumentedProgram) -> usize {
-    let tel = rsti_telemetry::global();
-    let _span = tel.span(rsti_telemetry::Phase::Optimize);
-    let a = promote_single_store_slots(&mut p.module);
-    let b = elide_redundant_auths(&mut p.module);
-    patch_placeholder_types(&mut p.module);
-    debug_assert!(
-        rsti_ir::verify_module(&p.module).is_ok(),
-        "{:?}",
-        rsti_ir::verify_module(&p.module).err()
-    );
-    tel.add(rsti_telemetry::CounterId::AuthsElided, (a + b) as u64);
-    a + b
+// ---------------------------------------------------------------------------
+// CFG-aware stages (OptLevel::Cfg)
+// ---------------------------------------------------------------------------
+
+/// Per-function alias census: which values are allocas, which of those
+/// never escape, and where every value is defined.
+///
+/// An alloca's address *escapes* the moment it is used as anything other
+/// than the direct pointer of a `load`/`store` — stored somewhere, passed
+/// to a call, offset by a GEP, bitcast, compared, returned. A PAC
+/// instruction's `loc` operand is the one exception: STL mixes the address
+/// into the modifier as metadata, which creates no capability to reach the
+/// slot. The payoff: no call, free, or store through an unknown pointer
+/// can possibly write a non-escaped slot, so available-auth facts about it
+/// survive those kills.
+struct AliasCensus {
+    allocas: HashSet<ValueId>,
+    non_escaped: HashSet<ValueId>,
+    /// Defining block per value; `None` for params and never-defined ids
+    /// (both behave as "defined at entry").
+    def_block: Vec<Option<BlockId>>,
 }
 
-/// Baseline counterpart: promotes the same slots in an *uninstrumented*
-/// module so overhead comparisons stay fair (both sides get mem2reg).
-pub fn optimize_baseline(m: &mut Module) -> usize {
-    let a = promote_single_store_slots(m);
-    let b = elide_redundant_auths(m);
+fn alias_census(f: &rsti_ir::Function) -> AliasCensus {
+    let mut allocas = HashSet::new();
+    let mut escaped = HashSet::new();
+    let mut def_block = vec![None; f.value_types.len()];
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        for node in &blk.insts {
+            if let Some(r) = node.inst.result() {
+                def_block[r.0 as usize] = Some(BlockId(bi as u32));
+            }
+            let mut escape = |op: &Operand| {
+                if let Operand::Value(v) = op {
+                    escaped.insert(*v);
+                }
+            };
+            match &node.inst {
+                Inst::Alloca { result, .. } => {
+                    allocas.insert(*result);
+                }
+                Inst::Load { .. } => {} // ptr use is benign
+                Inst::Store { value, .. } => escape(value), // ptr use is benign
+                Inst::PacSign { value, .. } | Inst::PacAuth { value, .. } => {
+                    escape(value); // loc use is benign (modifier metadata)
+                }
+                other => {
+                    for op in other.operands() {
+                        escape(op);
+                    }
+                }
+            }
+        }
+        match &blk.term {
+            rsti_ir::Terminator::CondBr { cond: Operand::Value(v), .. } => {
+                escaped.insert(*v);
+            }
+            rsti_ir::Terminator::Ret(Some(Operand::Value(v))) => {
+                escaped.insert(*v);
+            }
+            _ => {}
+        }
+    }
+    let non_escaped = allocas.difference(&escaped).copied().collect();
+    AliasCensus { allocas, non_escaped, def_block }
+}
+
+/// What a memory-writing instruction invalidates, under the refined alias
+/// rules. `SlotKey::Value` slots that are non-escaped allocas are immune
+/// to everything except a store through their own address and `free`.
+enum Kill {
+    /// No memory written.
+    None,
+    /// Exactly one slot (store through a non-escaped alloca's address).
+    OneSlot(SlotKey),
+    /// One slot plus every interior-pointer fact (store through an escaped
+    /// alloca's address: GEPs derived from it may alias its storage).
+    SlotAndInteriors(SlotKey),
+    /// One global plus every interior-pointer fact (interior pointers may
+    /// point into the global).
+    GlobalAndInteriors(u32),
+    /// Everything except non-escaped alloca slots (calls, stores through
+    /// unknown pointers).
+    AllButNonEscaped,
+    /// Everything (`free`: under the MAC-table backend a metadata change,
+    /// not just a data write, so no fact survives it).
+    All,
+}
+
+fn kill_of(inst: &Inst, census: &AliasCensus) -> Kill {
+    match inst {
+        Inst::Store { ptr, .. } => match slot_key(ptr) {
+            Some(k @ SlotKey::Value(v)) if census.non_escaped.contains(&v) => Kill::OneSlot(k),
+            Some(k @ SlotKey::Value(v)) if census.allocas.contains(&v) => {
+                Kill::SlotAndInteriors(k)
+            }
+            Some(SlotKey::Global(g)) => Kill::GlobalAndInteriors(g),
+            _ => Kill::AllButNonEscaped,
+        },
+        Inst::Call { .. } | Inst::CallIndirect { .. } => Kill::AllButNonEscaped,
+        Inst::Free { .. } => Kill::All,
+        // Malloc returns fresh, never-before-visible memory: no fact can
+        // refer to it yet.
+        _ => Kill::None,
+    }
+}
+
+/// Whether a fact about `slot` survives `kill`.
+fn fact_survives(slot: &SlotKey, kill: &Kill, census: &AliasCensus) -> bool {
+    let is_interior = |s: &SlotKey| match s {
+        SlotKey::Value(v) => !census.allocas.contains(v),
+        SlotKey::Global(_) => false,
+    };
+    match kill {
+        Kill::None => true,
+        Kill::OneSlot(k) => slot != k,
+        Kill::SlotAndInteriors(k) => slot != k && !is_interior(slot),
+        Kill::GlobalAndInteriors(g) => {
+            !matches!(slot, SlotKey::Global(x) if x == g) && !is_interior(slot)
+        }
+        Kill::AllButNonEscaped => {
+            matches!(slot, SlotKey::Value(v) if census.non_escaped.contains(v))
+        }
+        Kill::All => false,
+    }
+}
+
+/// An "available authentication": the slot/modifier/key triple is mapped to
+/// the authenticated value and the block that defined it.
+type FactKey = (SlotKey, u64, PacKey);
+type FactMap = HashMap<FactKey, (ValueId, BlockId)>;
+
+fn meet_preds(out: &[Option<FactMap>], cfg: &Cfg, b: BlockId) -> Option<FactMap> {
+    let mut acc: Option<FactMap> = None;
+    for &p in &cfg.preds[b.0 as usize] {
+        if !cfg.is_reachable(p) {
+            continue;
+        }
+        match (&mut acc, &out[p.0 as usize]) {
+            (_, None) => {} // unprocessed pred = ⊤, identity of the meet
+            (None, Some(m)) => acc = Some(m.clone()),
+            (Some(a), Some(m)) => {
+                a.retain(|k, v| m.get(k) == Some(v));
+            }
+        }
+    }
+    acc.or_else(|| {
+        // Entry (or a block whose preds are all unprocessed): nothing is
+        // available at the entry; stay ⊤ elsewhere until a pred resolves.
+        if cfg.preds[b.0 as usize].is_empty() {
+            Some(FactMap::new())
+        } else {
+            None
+        }
+    })
+}
+
+/// One block's transfer function: adjacent load+auth pairs generate facts,
+/// memory writes kill them per the refined rules. When `rewrite` is set,
+/// an auth whose fact is already available — and whose defining block
+/// dominates this one — is replaced with a register copy. Returns the
+/// number of auths elided.
+fn transfer_block(
+    blk: &mut rsti_ir::BasicBlock,
+    b: BlockId,
+    facts: &mut FactMap,
+    census: &AliasCensus,
+    dom: &DomTree,
+    rewrite: bool,
+) -> usize {
+    let mut elided = 0;
+    for i in 0..blk.insts.len() {
+        // Adjacent load+auth pair? (Instrumentation always emits them
+        // adjacent; the MAC-table backend depends on the same adjacency.)
+        let pair = match &blk.insts[i].inst {
+            Inst::Load { result, ptr, .. } => match blk.insts.get(i + 1).map(|n| &n.inst) {
+                Some(Inst::PacAuth { result: ar, value: Operand::Value(raw), key, modifier, .. })
+                    if raw == result =>
+                {
+                    slot_key(ptr).map(|s| (s, *modifier, *key, *ar))
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some((slot, modifier, key, auth_result)) = pair {
+            let fk = (slot, modifier, key);
+            match facts.get(&fk) {
+                Some(&(prev, def_b)) if rewrite && dom.dominates(def_b, b) => {
+                    blk.insts[i + 1].inst = Inst::BitCast {
+                        result: auth_result,
+                        value: prev.into(),
+                        to: auth_result_ty_placeholder(),
+                    };
+                    elided += 1;
+                }
+                Some(_) => {} // analysis pass: fact already available
+                None => {
+                    facts.insert(fk, (auth_result, b));
+                }
+            }
+            continue;
+        }
+        match kill_of(&blk.insts[i].inst, census) {
+            Kill::None => {}
+            kill => facts.retain(|(slot, _, _), _| fact_survives(slot, &kill, census)),
+        }
+    }
+    elided
+}
+
+/// Stage 1 of the CFG pipeline: dominator-based redundant-auth
+/// elimination. Forward "available authentications" dataflow over the CFG
+/// (optimistic iteration to the greatest fixpoint, meet = intersection),
+/// then a rewrite pass that replaces re-authentications whose fact arrives
+/// on every path — and whose definition dominates the use, so the
+/// authenticated register is live — with register copies.
+///
+/// Returns the number of auths elided. Leaves placeholder types for
+/// [`patch_placeholder_types`].
+pub fn elide_auths_dataflow(m: &mut Module) -> usize {
+    let mut elided = 0;
+    for f in &mut m.funcs {
+        if f.is_external || f.blocks.is_empty() {
+            continue;
+        }
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(&cfg);
+        let census = alias_census(f);
+
+        // Fixpoint: OUT[b] = transfer(meet(preds)). `None` = not yet
+        // computed (⊤): back-edge predecessors start optimistic so facts
+        // can circulate through loops, then shrink to the fixpoint.
+        let mut out: Vec<Option<FactMap>> = vec![None; f.blocks.len()];
+        loop {
+            let mut changed = false;
+            for &b in &cfg.rpo {
+                let Some(mut facts) = meet_preds(&out, &cfg, b) else { continue };
+                transfer_block(
+                    &mut f.blocks[b.0 as usize],
+                    b,
+                    &mut facts,
+                    &census,
+                    &dom,
+                    false,
+                );
+                let slot = &mut out[b.0 as usize];
+                if slot.as_ref() != Some(&facts) {
+                    *slot = Some(facts);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Rewrite with the converged IN sets.
+        for &b in &cfg.rpo {
+            let Some(mut facts) = meet_preds(&out, &cfg, b) else { continue };
+            elided += transfer_block(
+                &mut f.blocks[b.0 as usize],
+                b,
+                &mut facts,
+                &census,
+                &dom,
+                true,
+            );
+        }
+    }
+    elided
+}
+
+/// Operand invariance w.r.t. a loop: constants and addresses are
+/// invariant; a value is invariant when it is defined outside the loop
+/// (params count as entry-defined).
+fn operand_invariant(
+    op: &Operand,
+    l: &rsti_ir::NaturalLoop,
+    census: &AliasCensus,
+) -> bool {
+    match op {
+        Operand::Value(v) => match census.def_block.get(v.0 as usize).copied().flatten() {
+            Some(b) => !l.contains(b),
+            None => true,
+        },
+        _ => true,
+    }
+}
+
+/// Instructions that may run *after* a hoisted pair instead of before it:
+/// no memory write, no trap, no observable output. Everything the frontend
+/// puts ahead of a condition's pointer loads in a loop header qualifies.
+fn is_reorder_safe(inst: &Inst) -> bool {
+    match inst {
+        Inst::BitCast { .. } | Inst::Convert { .. } | Inst::Cmp { .. } => true,
+        Inst::Bin { op, .. } => {
+            !matches!(op, rsti_ir::BinOp::Div | rsti_ir::BinOp::Rem)
+        }
+        Inst::PacSign { .. } | Inst::PacStrip { .. } => true,
+        _ => false,
+    }
+}
+
+/// Stage 2 of the CFG pipeline: loop-invariant auth hoisting. A
+/// load+authenticate pair in a loop *header* whose address (and STL
+/// location) is loop-invariant, whose slot the loop never writes, and
+/// which is preceded only by reorder-safe instructions moves to the loop's
+/// preheader.
+///
+/// Guaranteed-execution reasoning: the header runs on every loop entry —
+/// including zero-trip entries — exactly once before the preheader could
+/// matter, and (the loop body never writing the slot) every in-loop
+/// re-execution of the pair is identical to the first. Moving the first
+/// execution one edge earlier therefore preserves behaviour bit-for-bit,
+/// traps included; what changes is that iterations 2..N re-use the
+/// authenticated register. The header trivially dominates every loop exit,
+/// so this is the "block dominates all exits" hoisting condition
+/// specialized to the one placement that is also zero-trip-safe.
+///
+/// Irreducible CFGs (never produced by structured MiniC, conceivable in
+/// hand-built IR) make the loop forest bail out and the function is left
+/// untouched. Returns the number of pairs hoisted.
+pub fn hoist_loop_auths(m: &mut Module) -> usize {
+    let mut hoisted = 0;
+    for f in &mut m.funcs {
+        if f.is_external || f.blocks.is_empty() {
+            continue;
+        }
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(&cfg);
+        let forest = LoopForest::new(&cfg, &dom);
+        if forest.irreducible || forest.loops.is_empty() {
+            continue;
+        }
+        // The entry block has an implicit function-entry edge no preheader
+        // can capture; a loop headed there is not hoistable.
+        if forest.loops.iter().all(|l| l.header == BlockId(0)) {
+            continue;
+        }
+        rsti_ir::insert_preheaders(f, &forest);
+
+        // Re-analyze the new shape: every header now has a dedicated
+        // preheader as its single out-of-loop predecessor.
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(&cfg);
+        let forest = LoopForest::new(&cfg, &dom);
+        let census = alias_census(f);
+        for l in &forest.loops {
+            if l.header == BlockId(0) {
+                continue;
+            }
+            let entries: Vec<BlockId> = cfg.preds[l.header.0 as usize]
+                .iter()
+                .copied()
+                .filter(|p| !l.contains(*p))
+                .collect();
+            let [ph] = entries[..] else { continue };
+            if cfg.succs[ph.0 as usize] != [l.header] {
+                continue;
+            }
+            while let Some(li) = find_hoistable_pair(f, l, &census) {
+                let auth = f.blocks[l.header.0 as usize].insts.remove(li + 1);
+                let load = f.blocks[l.header.0 as usize].insts.remove(li);
+                let phb = &mut f.blocks[ph.0 as usize];
+                phb.insts.push(load);
+                phb.insts.push(auth);
+                hoisted += 1;
+            }
+        }
+    }
+    hoisted
+}
+
+/// Finds the first header-resident load+auth pair that satisfies every
+/// hoisting condition; returns its index.
+fn find_hoistable_pair(
+    f: &rsti_ir::Function,
+    l: &rsti_ir::NaturalLoop,
+    census: &AliasCensus,
+) -> Option<usize> {
+    let header = &f.blocks[l.header.0 as usize];
+    for (i, node) in header.insts.iter().enumerate() {
+        if !is_reorder_safe(&node.inst)
+            && !matches!(node.inst, Inst::Load { .. })
+        {
+            return None; // a kill/trap/output point: nothing past it moves
+        }
+        let Inst::Load { result, ptr, .. } = &node.inst else { continue };
+        let Some(Inst::PacAuth { value: Operand::Value(raw), loc, .. }) =
+            header.insts.get(i + 1).map(|n| &n.inst)
+        else {
+            // A bare load is reorder-safe only when it cannot trap: a load
+            // straight off an alloca's own address (frame storage is
+            // always mapped). Anything else could fault, and the hoisted
+            // auth must not run ahead of a fault.
+            if matches!(ptr, Operand::Value(v) if census.allocas.contains(v)) {
+                continue;
+            }
+            return None;
+        };
+        if raw != result {
+            return None;
+        }
+        let slot = slot_key(ptr)?;
+        let invariant = operand_invariant(ptr, l, census)
+            && loc.as_ref().is_none_or(|lo| operand_invariant(lo, l, census));
+        if !invariant {
+            return None;
+        }
+        // The loop must never write the slot (pair instructions themselves
+        // are loads/auths, not kills).
+        let never_killed = l.blocks.iter().all(|&b| {
+            f.blocks[b.0 as usize]
+                .insts
+                .iter()
+                .all(|n| fact_survives(&slot, &kill_of(&n.inst, census), census))
+        });
+        if never_killed {
+            return Some(i);
+        }
+        return None;
+    }
+    None
+}
+
+/// Stage 3 of the CFG pipeline: precomputed PAC modifiers. An STL
+/// location-mix whose `loc` is a global (or null) resolves statically:
+/// the loader's global layout is deterministic
+/// ([`rsti_ir::Module::global_addresses`] — the same function the VM
+/// uses), so `M ^ canonical(&g)` folds into the instruction's immediate
+/// modifier and `loc` drops to `None`. The VM's check path then skips
+/// per-execution modifier derivation (and its modeled `eor` surcharge)
+/// for these sites. Returns the number of modifiers folded.
+pub fn precompute_pac_modifiers(m: &mut Module) -> usize {
+    let gaddrs = m.global_addresses();
+    let va = rsti_pac::VaConfig::paper_default();
+    let mut folded = 0;
+    for f in &mut m.funcs {
+        for blk in &mut f.blocks {
+            for node in &mut blk.insts {
+                let (Inst::PacSign { modifier, loc, .. } | Inst::PacAuth { modifier, loc, .. }) =
+                    &mut node.inst
+                else {
+                    continue;
+                };
+                match loc {
+                    Some(Operand::GlobalAddr(g, _)) => {
+                        *modifier ^= va.canonical(gaddrs[g.0 as usize]);
+                        *loc = None;
+                        folded += 1;
+                    }
+                    Some(Operand::Null(_)) => {
+                        // canonical(0) == 0: the mix is the identity.
+                        *loc = None;
+                        folded += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    folded
+}
+
+// ---------------------------------------------------------------------------
+// The OptLevel-driven pipeline
+// ---------------------------------------------------------------------------
+
+/// Optimization level for the check-optimizer pipeline. One knob drives
+/// the CLI (`--opt`), the bench binaries, and the fuzz oracle matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// Run the instrumented program exactly as the pass emitted it.
+    None,
+    /// Single-store slot promotion + per-block redundant-auth elision
+    /// (the pre-CFG optimizer).
+    BlockLocal,
+    /// BlockLocal plus the CFG-aware stages: dominator-based elision,
+    /// loop-invariant auth hoisting, precomputed PAC modifiers.
+    Cfg,
+}
+
+impl OptLevel {
+    /// All levels, weakest first.
+    pub const ALL: [OptLevel; 3] = [OptLevel::None, OptLevel::BlockLocal, OptLevel::Cfg];
+
+    /// Short stable label (`none` / `block` / `cfg`) for tables, configs,
+    /// and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::None => "none",
+            OptLevel::BlockLocal => "block",
+            OptLevel::Cfg => "cfg",
+        }
+    }
+
+    /// Parses a level name as accepted by `rsti --opt`.
+    ///
+    /// # Errors
+    /// Returns a message listing the accepted names.
+    pub fn parse(s: &str) -> Result<OptLevel, String> {
+        Ok(match s.to_ascii_lowercase().as_str() {
+            "none" | "0" => OptLevel::None,
+            "block" | "block-local" | "blocklocal" | "1" => OptLevel::BlockLocal,
+            "cfg" | "2" => OptLevel::Cfg,
+            other => return Err(format!("unknown opt level `{other}` (none|block|cfg)")),
+        })
+    }
+}
+
+/// What one pipeline run removed, per stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptSummary {
+    /// Load(+auth) sites promoted to copies by mem2reg.
+    pub promoted: usize,
+    /// Auths elided by the per-block cache.
+    pub elided_block: usize,
+    /// Load(+auth) pairs hoisted to loop preheaders.
+    pub hoisted: usize,
+    /// Auths elided by the CFG dataflow stage.
+    pub elided_dom: usize,
+    /// STL modifiers folded to immediates.
+    pub premods: usize,
+}
+
+impl OptSummary {
+    /// Total check sites removed (modifier folds excluded — those sites
+    /// still check, they just derive nothing at runtime).
+    pub fn total(&self) -> usize {
+        self.promoted + self.elided_block + self.hoisted + self.elided_dom
+    }
+}
+
+fn verify_stage(m: &Module, stage: &str) {
+    debug_assert!(
+        rsti_ir::verify_module(m).is_ok(),
+        "optimizer stage `{stage}` broke the module: {:?}",
+        rsti_ir::verify_module(m).err()
+    );
+    let _ = (m, stage);
+}
+
+/// The one configurable pipeline over any module — instrumented or
+/// baseline (on a baseline module the auth-specific stages are no-ops and
+/// mem2reg/hoisting still apply, keeping overhead comparisons fair).
+/// `verify_module` holds after every stage boundary (checked in debug
+/// builds here and by the fuzz oracle's verifier oracle in release).
+pub fn optimize_module(m: &mut Module, level: OptLevel) -> OptSummary {
+    let mut s = OptSummary::default();
+    if level == OptLevel::None {
+        return s;
+    }
+    s.promoted = promote_single_store_slots(m);
+    s.elided_block = elide_redundant_auths(m);
     patch_placeholder_types(m);
-    debug_assert!(rsti_ir::verify_module(m).is_ok());
-    a + b
+    verify_stage(m, "block-local");
+    if level == OptLevel::Cfg {
+        s.hoisted = hoist_loop_auths(m);
+        verify_stage(m, "hoist");
+        s.elided_dom = elide_auths_dataflow(m);
+        patch_placeholder_types(m);
+        verify_stage(m, "dataflow");
+        s.premods = precompute_pac_modifiers(m);
+        verify_stage(m, "premod");
+    }
+    s
+}
+
+/// [`optimize_module`] over an instrumented program, with the telemetry
+/// span and per-stage counters.
+pub fn optimize_program_at(
+    p: &mut crate::instrument::InstrumentedProgram,
+    level: OptLevel,
+) -> OptSummary {
+    let tel = rsti_telemetry::global();
+    let _span = tel.span(rsti_telemetry::Phase::Optimize);
+    let s = optimize_module(&mut p.module, level);
+    tel.add(
+        rsti_telemetry::CounterId::AuthsElidedBlock,
+        (s.promoted + s.elided_block) as u64,
+    );
+    tel.add(rsti_telemetry::CounterId::AuthsElidedDom, s.elided_dom as u64);
+    tel.add(rsti_telemetry::CounterId::AuthsHoisted, s.hoisted as u64);
+    tel.add(rsti_telemetry::CounterId::ModifiersPrecomputed, s.premods as u64);
+    s
+}
+
+/// Compatibility entry point: the full pipeline at [`OptLevel::Cfg`].
+/// Returns the number of removed/promoted authentication sites.
+pub fn optimize_program(p: &mut crate::instrument::InstrumentedProgram) -> usize {
+    optimize_program_at(p, OptLevel::Cfg).total()
+}
+
+/// Compatibility entry point for *uninstrumented* modules: the full
+/// pipeline at [`OptLevel::Cfg`], so overhead comparisons stay fair (both
+/// sides get mem2reg and hoisting).
+pub fn optimize_baseline(m: &mut Module) -> usize {
+    optimize_module(m, OptLevel::Cfg).total()
 }
 
 /// Leaf-function inlining — the LTO/O2 component of the paper's pipeline
@@ -732,5 +1331,173 @@ mod tests {
             .flat_map(|f| f.insts())
             .filter(|n| matches!(n.inst, rsti_ir::Inst::PacAuth { .. }))
             .count()
+    }
+
+    /// Instrument `src` and run the pipeline at `level`.
+    fn opt_at(src: &str, mech: Mechanism, level: OptLevel) -> (OptSummary, rsti_ir::Module) {
+        let m = compile(src, "t").unwrap();
+        let mut p = instrument(&m, mech);
+        let s = optimize_module(&mut p.module, level);
+        rsti_ir::verify_module(&p.module).unwrap();
+        (s, p.module)
+    }
+
+    // `p` is stored twice (once conditionally) so mem2reg leaves the slot
+    // alone and the CFG stages are what's under test.
+    fn diamond_src(killer: &str) -> String {
+        format!(
+            r#"
+            int sink;
+            int main() {{
+                int* p = (int*) malloc(4);
+                if (sink > 0) {{ p = (int*) malloc(8); }}
+                *p = 1;
+                if (sink > 1) {{ {killer} }}
+                return *p;
+            }}
+            "#
+        )
+    }
+
+    #[test]
+    fn cfg_elides_cross_block_reauths() {
+        let src = diamond_src("sink = 2;");
+        let (sb, mb) = opt_at(&src, Mechanism::Stwc, OptLevel::BlockLocal);
+        let (sc, mc) = opt_at(&src, Mechanism::Stwc, OptLevel::Cfg);
+        assert!(sc.elided_dom > 0, "join re-auth should elide: {sc:?}");
+        assert!(
+            count_auths(&mc) < count_auths(&mb),
+            "cfg must remove auths block-local cannot: {} vs {}",
+            count_auths(&mc),
+            count_auths(&mb)
+        );
+        let _ = sb;
+    }
+
+    /// The satellite property: dominator elision never propagates a fact
+    /// across a block that stores to the slot, calls, or frees. Each killer
+    /// variant must elide nothing beyond block-local; the kill-free control
+    /// must elide the join's re-auth.
+    #[test]
+    fn elision_never_crosses_store_call_free() {
+        // A store to an unrelated *global* is not a kill for a private
+        // stack slot — the control shows the fact flowing.
+        let (control, _) = opt_at(&diamond_src("sink = 2;"), Mechanism::Stwc, OptLevel::Cfg);
+        assert!(control.elided_dom > 0, "control must elide: {control:?}");
+
+        // Store to the slot itself.
+        let (s, _) = opt_at(
+            &diamond_src("p = (int*) malloc(4);"),
+            Mechanism::Stwc,
+            OptLevel::Cfg,
+        );
+        assert_eq!(s.elided_dom, 0, "store must kill the fact: {s:?}");
+
+        // A call to a function that could reach the (escaped) slot.
+        let src = format!(
+            "void poke(int** q) {{ }}\n{}",
+            diamond_src("poke(&p);")
+        );
+        let (s, _) = opt_at(&src, Mechanism::Stwc, OptLevel::Cfg);
+        assert_eq!(s.elided_dom, 0, "call must kill escaped-slot facts: {s:?}");
+
+        // A free: under the MAC backend a metadata change, kills everything.
+        let (s, _) = opt_at(
+            &diamond_src("free((int*) malloc(4));"),
+            Mechanism::Stwc,
+            OptLevel::Cfg,
+        );
+        assert_eq!(s.elided_dom, 0, "free must kill all facts: {s:?}");
+    }
+
+    #[test]
+    fn hoists_loop_invariant_header_auth() {
+        let src = r#"
+            int sink;
+            int main() {
+                int* p = (int*) malloc(4);
+                if (sink > 0) { p = (int*) malloc(4); }
+                *p = 0;
+                int i = 0;
+                while (*p < 10) {
+                    *p = *p + 1;
+                    i = i + 1;
+                }
+                return i;
+            }
+        "#;
+        for mech in [Mechanism::Stwc, Mechanism::Stc, Mechanism::Stl] {
+            let (s, m) = opt_at(src, mech, OptLevel::Cfg);
+            assert!(s.hoisted >= 1, "{mech:?}: header pair must hoist: {s:?}");
+            rsti_ir::verify_module(&m).unwrap();
+        }
+    }
+
+    #[test]
+    fn loop_body_store_to_slot_blocks_hoisting() {
+        // The loop rebinds `p` itself, so its auth is not invariant.
+        let src = r#"
+            int sink;
+            int main() {
+                int* p = (int*) malloc(4);
+                if (sink > 0) { p = (int*) malloc(4); }
+                *p = 0;
+                int i = 0;
+                while (*p < 10) {
+                    p = (int*) malloc(4);
+                    *p = i;
+                    i = i + 1;
+                }
+                return i;
+            }
+        "#;
+        let (s, m) = opt_at(src, Mechanism::Stwc, OptLevel::Cfg);
+        assert_eq!(s.hoisted, 0, "rebound slot must not hoist: {s:?}");
+        rsti_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn precomputes_global_stl_modifiers() {
+        let src = r#"
+            int* gp;
+            int main() {
+                gp = (int*) malloc(4);
+                *gp = 3;
+                return *gp;
+            }
+        "#;
+        let (s, m) = opt_at(src, Mechanism::Stl, OptLevel::Cfg);
+        assert!(s.premods > 0, "global STL sites must fold: {s:?}");
+        for f in &m.funcs {
+            for n in f.insts() {
+                if let Inst::PacSign { loc: Some(l), .. } | Inst::PacAuth { loc: Some(l), .. } =
+                    &n.inst
+                {
+                    assert!(
+                        !matches!(l, Operand::GlobalAddr(..) | Operand::Null(_)),
+                        "static loc survived premod: {:?}",
+                        n.inst
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opt_level_labels_roundtrip() {
+        for lv in OptLevel::ALL {
+            assert_eq!(OptLevel::parse(lv.label()), Ok(lv));
+        }
+        assert!(OptLevel::parse("turbo").is_err());
+    }
+
+    #[test]
+    fn optimize_module_none_is_identity() {
+        let m = compile(REPEATY, "t").unwrap();
+        let mut p = instrument(&m, Mechanism::Stwc);
+        let before = count_auths(&p.module);
+        let s = optimize_module(&mut p.module, OptLevel::None);
+        assert_eq!(s, OptSummary::default());
+        assert_eq!(count_auths(&p.module), before);
     }
 }

@@ -4,8 +4,8 @@
 //! committed corpus — is pushed through the same checks:
 //!
 //! 1. **Differential output**: the uninstrumented baseline run and every
-//!    `Mechanism × {unoptimized, optimized}` instrumented run must agree on
-//!    exit status and printed output. A well-defined MiniC program never
+//!    `Mechanism × {unoptimized, block-local, cfg}` instrumented run must
+//!    agree on exit status and printed output. A well-defined MiniC program never
 //!    observes the PAC machinery, so any divergence is a pipeline bug (or,
 //!    for hand-written attack programs, a detection — which is why the
 //!    committed corpus contains only post-fix *passing* programs).
@@ -19,7 +19,7 @@
 //! reducer can insist that a shrunken candidate reproduces the *same* bug,
 //! not merely *a* bug.
 
-use rsti_core::{instrument, optimize_baseline, optimize_program, Mechanism};
+use rsti_core::{instrument, optimize_module, Mechanism, OptLevel};
 use rsti_frontend::ast::Item;
 use rsti_frontend::{ast_eq_items, compile, parse, print_items};
 use rsti_ir::verify_module;
@@ -258,30 +258,38 @@ fn check_compiled(src: &str) -> Result<(), FailureKind> {
     let img = Image::baseline(&m);
     let base = run_image(&img, "baseline")?;
 
-    // Optimizer correctness on the uninstrumented module (mem2reg etc. must
-    // not change observable behaviour even before any PAC ops exist).
-    {
-        let config = "baseline+opt";
+    // Short opt-level suffixes: `""` (unoptimized), `"+opt"` (the
+    // block-local pipeline), `"+cfg"` (dominator elision, hoisting,
+    // precomputed modifiers).
+    fn level_suffix(level: OptLevel) -> &'static str {
+        match level {
+            OptLevel::None => "",
+            OptLevel::BlockLocal => "+opt",
+            OptLevel::Cfg => "+cfg",
+        }
+    }
+
+    // Optimizer correctness on the uninstrumented module (mem2reg,
+    // hoisting etc. must not change observable behaviour even before any
+    // PAC ops exist).
+    for level in [OptLevel::BlockLocal, OptLevel::Cfg] {
+        let config = format!("baseline{}", level_suffix(level));
         let mut om = m.clone();
-        catch_unwind(AssertUnwindSafe(|| optimize_baseline(&mut om))).map_err(|p| {
+        catch_unwind(AssertUnwindSafe(|| optimize_module(&mut om, level))).map_err(|p| {
             FailureKind::PassPanic {
                 stage: "optimize".into(),
-                config: config.into(),
+                config: config.clone(),
                 detail: panic_msg(p),
             }
         })?;
-        check_verified(&om, "optimize", config)?;
-        let got = run_image(&Image::baseline(&om), config)?;
-        compare(config, &base, &got)?;
+        check_verified(&om, "optimize", &config)?;
+        let got = run_image(&Image::baseline(&om), &config)?;
+        compare(&config, &base, &got)?;
     }
 
     for mech in Mechanism::ALL {
-        for optimize in [false, true] {
-            let config = if optimize {
-                format!("{}+opt", mech_label(mech))
-            } else {
-                mech_label(mech).to_string()
-            };
+        for level in OptLevel::ALL {
+            let config = format!("{}{}", mech_label(mech), level_suffix(level));
             let mut p = catch_unwind(AssertUnwindSafe(|| instrument(&m, mech))).map_err(|p| {
                 FailureKind::PassPanic {
                     stage: "instrument".into(),
@@ -290,14 +298,13 @@ fn check_compiled(src: &str) -> Result<(), FailureKind> {
                 }
             })?;
             check_verified(&p.module, "instrument", &config)?;
-            if optimize {
-                catch_unwind(AssertUnwindSafe(|| optimize_program(&mut p))).map_err(|e| {
-                    FailureKind::PassPanic {
+            if level != OptLevel::None {
+                catch_unwind(AssertUnwindSafe(|| optimize_module(&mut p.module, level)))
+                    .map_err(|e| FailureKind::PassPanic {
                         stage: "optimize".into(),
                         config: config.clone(),
                         detail: panic_msg(e),
-                    }
-                })?;
+                    })?;
                 check_verified(&p.module, "optimize", &config)?;
             }
             let got = run_image(&Image::from_instrumented(&p), &config)?;

@@ -1,0 +1,174 @@
+//! Control-flow graph over a function's basic blocks.
+//!
+//! The optimizer's CFG-aware passes (dominator-based auth elision,
+//! loop-invariant auth hoisting — see `rsti-core`) all start from the same
+//! three artifacts computed here: the successor lists read straight off the
+//! terminators, the inverted predecessor lists, and a reverse-postorder
+//! (RPO) numbering of the blocks reachable from the entry. RPO is the
+//! iteration order that makes forward dataflow and the Cooper–Harvey–
+//! Kennedy dominator algorithm ([`crate::dom`]) converge in a small number
+//! of passes.
+//!
+//! Blocks that are unreachable from the entry (the frontend emits a few —
+//! e.g. the tail of a `return`-terminated branch) get no RPO number and are
+//! ignored by every analysis built on top; the optimizer leaves their
+//! contents untouched.
+
+use crate::function::{BlockId, Function};
+use crate::inst::Terminator;
+
+/// Successor blocks of a terminator, in branch order.
+pub fn term_successors(t: &Terminator) -> Vec<BlockId> {
+    match t {
+        Terminator::Br(b) => vec![*b],
+        Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+        Terminator::Ret(_) | Terminator::Unreachable => vec![],
+    }
+}
+
+/// The control-flow graph of one function: successors, predecessors, and a
+/// reverse-postorder over the blocks reachable from the entry.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `succs[b]` — successors of block `b`, in terminator branch order.
+    /// A block targeted by both arms of a `CondBr` appears twice.
+    pub succs: Vec<Vec<BlockId>>,
+    /// `preds[b]` — predecessors of block `b` (deduplicated).
+    pub preds: Vec<Vec<BlockId>>,
+    /// Reachable blocks in reverse-postorder; `rpo[0]` is the entry.
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b]` — position of block `b` in [`Cfg::rpo`], or `None`
+    /// when `b` is unreachable from the entry.
+    pub rpo_index: Vec<Option<u32>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`. Functions with no blocks (externals) yield an
+    /// empty graph.
+    pub fn new(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs: Vec<Vec<BlockId>> = Vec::with_capacity(n);
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (i, blk) in f.blocks.iter().enumerate() {
+            let ss = term_successors(&blk.term);
+            for &s in &ss {
+                let p = &mut preds[s.0 as usize];
+                if !p.contains(&BlockId(i as u32)) {
+                    p.push(BlockId(i as u32));
+                }
+            }
+            succs.push(ss);
+        }
+
+        // Iterative DFS from the entry; postorder reversed gives RPO.
+        let mut rpo_index = vec![None; n];
+        let mut rpo = Vec::new();
+        if n > 0 {
+            let mut post: Vec<BlockId> = Vec::with_capacity(n);
+            let mut visited = vec![false; n];
+            // (block, next successor index to explore)
+            let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+            visited[0] = true;
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                let ss = &succs[b.0 as usize];
+                if *next < ss.len() {
+                    let s = ss[*next];
+                    *next += 1;
+                    if !visited[s.0 as usize] {
+                        visited[s.0 as usize] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+            rpo = post.into_iter().rev().collect();
+            for (i, &b) in rpo.iter().enumerate() {
+                rpo_index[b.0 as usize] = Some(i as u32);
+            }
+        }
+        Cfg { succs, preds, rpo, rpo_index }
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize].is_some()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::function::BasicBlock;
+    use crate::inst::Operand;
+    use crate::types::{FuncSig, TypeTable};
+
+    /// Builds a function skeleton out of terminators only.
+    pub(crate) fn skeleton(terms: Vec<Terminator>) -> Function {
+        let types = TypeTable::new();
+        let void = types.void();
+        Function {
+            name: "skel".into(),
+            sig: FuncSig::new(void, vec![]),
+            params: vec![],
+            blocks: terms
+                .into_iter()
+                .map(|t| BasicBlock { insts: vec![], term: t, term_loc: None })
+                .collect(),
+            value_types: vec![],
+            is_external: false,
+        }
+    }
+
+    pub(crate) fn cond(then_bb: u32, else_bb: u32) -> Terminator {
+        let types = TypeTable::new();
+        let b = types.bool();
+        Terminator::CondBr {
+            cond: Operand::ConstInt(1, b),
+            then_bb: BlockId(then_bb),
+            else_bb: BlockId(else_bb),
+        }
+    }
+
+    #[test]
+    fn diamond_rpo_and_edges() {
+        // 0 -> 1,2 ; 1 -> 3 ; 2 -> 3 ; 3 ret
+        let f = skeleton(vec![
+            cond(1, 2),
+            Terminator::Br(BlockId(3)),
+            Terminator::Br(BlockId(3)),
+            Terminator::Ret(None),
+        ]);
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs[0], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds[3], vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.rpo.len(), 4);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(cfg.rpo[3], BlockId(3));
+        // RPO: every edge that is not a back edge goes forward.
+        let ix = |b: BlockId| cfg.rpo_index[b.0 as usize].unwrap();
+        assert!(ix(BlockId(0)) < ix(BlockId(1)));
+        assert!(ix(BlockId(1)) < ix(BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_get_no_rpo_number() {
+        let f = skeleton(vec![
+            Terminator::Ret(None),
+            Terminator::Br(BlockId(0)), // unreachable
+        ]);
+        let cfg = Cfg::new(&f);
+        assert!(cfg.is_reachable(BlockId(0)));
+        assert!(!cfg.is_reachable(BlockId(1)));
+        assert_eq!(cfg.rpo, vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn both_arms_to_same_block_dedup_preds() {
+        let f = skeleton(vec![cond(1, 1), Terminator::Ret(None)]);
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.succs[0].len(), 2);
+        assert_eq!(cfg.preds[1], vec![BlockId(0)]);
+    }
+}

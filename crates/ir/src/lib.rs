@@ -35,8 +35,11 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cfg;
 pub mod debug;
+pub mod dom;
 pub mod function;
+pub mod loops;
 pub mod inst;
 pub mod module;
 pub mod printer;
@@ -44,10 +47,13 @@ pub mod types;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
+pub use cfg::{term_successors, Cfg};
 pub use debug::{DebugLoc, Scope, VarId, VarInfo, VarKind};
+pub use dom::DomTree;
 pub use function::{BasicBlock, BlockId, Function, InstNode, ValueId};
 pub use inst::{BinOp, CmpOp, Inst, Operand, PacKey, PacSite, Terminator};
-pub use module::{FuncId, GlobalDef, GlobalId, GlobalInit, Module, StrId};
+pub use loops::{insert_preheaders, LoopForest, NaturalLoop};
+pub use module::{FuncId, GlobalDef, GlobalId, GlobalInit, Module, StrId, GLOBAL_SEG_BASE};
 pub use printer::{print_function, print_inst, print_module};
 pub use types::{FieldDef, FuncSig, StructDef, StructId, Type, TypeId, TypeLayout, TypeTable};
 pub use verify::{verify_module, VerifyError};

@@ -55,6 +55,17 @@ pub struct GlobalDef {
     pub init: GlobalInit,
 }
 
+/// Base virtual address of the globals segment.
+///
+/// This is *the* address contract between the VM's memory model
+/// (`rsti-vm`'s `layout::GLOBAL_BASE` re-exports it) and the optimizer's
+/// precomputed-modifier pass: global addresses are fully determined by the
+/// module (see [`Module::global_addresses`]), so RSTI-STL's
+/// location-mixing (`M ^ &p`, paper Fig. 5c) can be folded into the
+/// instruction's modifier field at optimize time instead of being derived
+/// on every executed check.
+pub const GLOBAL_SEG_BASE: u64 = 0x2000_0000_0000;
+
 /// A whole program.
 #[derive(Debug, Clone, Default)]
 pub struct Module {
@@ -138,6 +149,23 @@ impl Module {
     /// density (§6.3.2).
     pub fn inst_count(&self) -> usize {
         self.funcs.iter().map(|f| f.inst_count()).sum()
+    }
+
+    /// The virtual address every global will live at when this module is
+    /// loaded: `GLOBAL_SEG_BASE` plus the cumulative 8-byte-aligned sizes
+    /// of the preceding globals. Deterministic per module — the VM's
+    /// loader uses exactly this layout, which is what lets the optimizer
+    /// precompute STL location-mixed modifiers statically.
+    pub fn global_addresses(&self) -> Vec<u64> {
+        let mut addrs = Vec::with_capacity(self.globals.len());
+        let mut off = 0u64;
+        for g in &self.globals {
+            addrs.push(GLOBAL_SEG_BASE.saturating_add(off));
+            off = off.saturating_add(
+                self.types.size_of(g.ty).max(8).div_ceil(8).saturating_mul(8),
+            );
+        }
+        addrs
     }
 
     /// Iterator over `(FuncId, &Function)` pairs.

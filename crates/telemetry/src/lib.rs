@@ -101,8 +101,18 @@ pub enum CounterId {
     SignsInserted,
     /// On-load (and pp) authentications inserted by the pass.
     AuthsInserted,
-    /// Redundant authentications elided by the optimizer.
-    AuthsElided,
+    /// Redundant authentications elided block-locally (single-store slot
+    /// promotion plus the straight-line available-auth cache).
+    AuthsElidedBlock,
+    /// Additional authentications elided by the CFG-level dataflow pass
+    /// (available auths intersected across predecessors, reuse gated on
+    /// the dominator tree).
+    AuthsElidedDom,
+    /// Loop-header load+auth pairs hoisted into loop preheaders.
+    AuthsHoisted,
+    /// PAC modifiers resolved at optimize time (STL location-mixing with a
+    /// statically known address folded into the instruction's modifier).
+    ModifiersPrecomputed,
     /// External-boundary strips inserted.
     StripsInserted,
     /// Pointer-to-pointer CE/FE sites inserted.
@@ -160,10 +170,13 @@ pub enum CounterId {
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [CounterId; 27] = [
+    pub const ALL: [CounterId; 30] = [
         CounterId::SignsInserted,
         CounterId::AuthsInserted,
-        CounterId::AuthsElided,
+        CounterId::AuthsElidedBlock,
+        CounterId::AuthsElidedDom,
+        CounterId::AuthsHoisted,
+        CounterId::ModifiersPrecomputed,
         CounterId::StripsInserted,
         CounterId::PpSitesInserted,
         CounterId::ClassesStwc,
@@ -195,7 +208,10 @@ impl CounterId {
         match self {
             CounterId::SignsInserted => "signs_inserted",
             CounterId::AuthsInserted => "auths_inserted",
-            CounterId::AuthsElided => "auths_elided",
+            CounterId::AuthsElidedBlock => "auths_elided_block",
+            CounterId::AuthsElidedDom => "auths_elided_dom",
+            CounterId::AuthsHoisted => "auths_hoisted",
+            CounterId::ModifiersPrecomputed => "modifiers_precomputed",
             CounterId::StripsInserted => "strips_inserted",
             CounterId::PpSitesInserted => "pp_sites_inserted",
             CounterId::ClassesStwc => "classes_stwc",
@@ -736,7 +752,7 @@ mod tests {
         let c = Collector::new();
         c.enable();
         c.set_sink(Box::new(VecSink(Arc::clone(&buf))));
-        c.emit(&Event::Counter { id: CounterId::AuthsElided, delta: 9 });
+        c.emit(&Event::Counter { id: CounterId::AuthsElidedDom, delta: 9 });
         {
             let _s = c.span(Phase::Optimize);
         }
@@ -744,7 +760,7 @@ mod tests {
         let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2, "{text}");
-        assert!(lines[0].contains("\"auths_elided\""));
+        assert!(lines[0].contains("\"auths_elided_dom\""));
         assert!(lines[1].contains("\"phase\":\"optimize\""));
     }
 
@@ -771,7 +787,8 @@ mod tests {
             assert!(json.contains(&format!("\"name\":\"{}\"", cid.name())), "{}", cid.name());
         }
         let expected_names = [
-            "signs_inserted", "auths_inserted", "auths_elided", "strips_inserted",
+            "signs_inserted", "auths_inserted", "auths_elided_block", "auths_elided_dom",
+            "auths_hoisted", "modifiers_precomputed", "strips_inserted",
             "pp_sites_inserted", "classes_stwc", "classes_stc", "classes_stl",
             "classes_parts", "qarma_calls", "pac_memo_hits", "sched_memo_hits",
             "sched_memo_misses", "vm_pac_signs", "vm_pac_auths", "vm_auth_failures",

@@ -64,6 +64,13 @@ impl CostModel {
             Inst::CallIndirect { .. } => self.icall,
             Inst::Malloc { .. } | Inst::Free { .. } => self.malloc,
             Inst::PrintInt { .. } | Inst::PrintStr { .. } => self.call,
+            // A location-mixed PAC op (STL's `M ^ &p`) pays one extra ALU
+            // op for the address `eor`; the optimizer's precomputed-
+            // modifier pass folds static locations away, dropping a site
+            // back to the plain `pac_op` cost.
+            Inst::PacSign { loc: Some(_), .. } | Inst::PacAuth { loc: Some(_), .. } => {
+                self.pac_op + self.alu
+            }
             Inst::PacSign { .. } | Inst::PacAuth { .. } | Inst::PacStrip { .. } => self.pac_op,
             Inst::PpAdd { .. } => self.pp_add,
             Inst::PpSign { .. } | Inst::PpAuth { .. } => self.pp_pac,
@@ -89,6 +96,20 @@ mod tests {
             site: PacSite::OnStore,
         };
         assert_eq!(c.cost(&sign), 7 * c.alu);
+    }
+
+    #[test]
+    fn location_mix_costs_an_extra_alu() {
+        let c = CostModel::default();
+        let mixed = Inst::PacAuth {
+            result: ValueId(0),
+            value: Operand::Null(TypeId(0)),
+            key: PacKey::Da,
+            modifier: 0,
+            loc: Some(Operand::Null(TypeId(0))),
+            site: PacSite::OnLoad,
+        };
+        assert_eq!(c.cost(&mixed), c.pac_op + c.alu);
     }
 
     #[test]

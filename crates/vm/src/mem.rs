@@ -26,8 +26,11 @@ pub mod layout {
     pub const EXTERNAL_BASE: u64 = 0x0800_0000_0000;
     /// Program function addresses.
     pub const CODE_BASE: u64 = 0x1000_0000_0000;
-    /// Global variables.
-    pub const GLOBAL_BASE: u64 = 0x2000_0000_0000;
+    /// Global variables. Re-exported from `rsti-ir`: the base (and the
+    /// whole globals layout, [`rsti_ir::Module::global_addresses`]) is a
+    /// module-level contract so the optimizer can fold statically-known
+    /// addresses into PAC modifiers at optimize time.
+    pub const GLOBAL_BASE: u64 = rsti_ir::GLOBAL_SEG_BASE;
     /// String literals.
     pub const STR_BASE: u64 = 0x3000_0000_0000;
     /// Heap arena.

@@ -572,15 +572,18 @@ impl<'img> Vm<'img> {
     /// rather than a panic.
     pub fn new(img: &'img Image) -> Self {
         let m = &img.module;
-        // Globals layout.
-        let mut gaddr = Vec::with_capacity(m.globals.len());
-        let mut goff = 0u64;
-        for g in &m.globals {
-            gaddr.push(layout::GLOBAL_BASE.saturating_add(goff));
-            // Saturating: absurd global sizes must survive layout so the
-            // segment-size check below can reject them with a trap.
-            goff = goff.saturating_add(m.types.size_of(g.ty).max(8).div_ceil(8).saturating_mul(8));
-        }
+        // Globals layout — delegated to the module so the optimizer's
+        // precomputed-modifier pass folds exactly the addresses the VM
+        // loads at (`rsti_ir::Module::global_addresses` is the contract).
+        let gaddr = m.global_addresses();
+        let goff = match (gaddr.last(), m.globals.last()) {
+            (Some(&base), Some(g)) => base
+                .saturating_sub(layout::GLOBAL_BASE)
+                // Saturating: absurd global sizes must survive layout so
+                // the segment-size check below can reject them with a trap.
+                .saturating_add(m.types.size_of(g.ty).max(8).div_ceil(8).saturating_mul(8)),
+            _ => 0,
+        };
         // Strings layout.
         let mut saddr = Vec::with_capacity(m.strings.len());
         let mut soff = 0u64;
@@ -1257,6 +1260,10 @@ impl<'img> Vm<'img> {
         })
     }
 
+    // The `None` arm is the fast path the optimizer's precomputed-modifier
+    // pass aims for: no operand eval, no canonicalization — the modifier
+    // is already final.
+    #[inline]
     fn modifier_with_loc(&self, modifier: u64, loc: &Option<Operand>) -> Result<u64, Trap> {
         match loc {
             None => Ok(modifier),

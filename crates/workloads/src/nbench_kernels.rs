@@ -514,15 +514,15 @@ mod tests {
             let base = Vm::new(&Image::baseline(&m)).run();
             assert!(base.status.is_exit());
             for mech in rsti_core::Mechanism::ALL {
-                let mut p = rsti_core::instrument(&m, mech);
-                let r = Vm::new(&Image::from_instrumented(&p)).run();
-                assert_eq!(r.status, base.status, "{mech}");
-                assert_eq!(r.output, base.output, "{mech}");
-                // And with the O2-model optimizer applied.
-                rsti_core::optimize_program(&mut p);
-                let r = Vm::new(&Image::from_instrumented(&p)).run();
-                assert_eq!(r.status, base.status, "{mech} optimized");
-                assert_eq!(r.output, base.output, "{mech} optimized");
+                // At every optimizer level: unoptimized, block-local
+                // elision only, and the full CFG pipeline.
+                for level in rsti_core::OptLevel::ALL {
+                    let mut p = rsti_core::instrument(&m, mech);
+                    rsti_core::optimize_module(&mut p.module, level);
+                    let r = Vm::new(&Image::from_instrumented(&p)).run();
+                    assert_eq!(r.status, base.status, "{mech} at {}", level.label());
+                    assert_eq!(r.output, base.output, "{mech} at {}", level.label());
+                }
             }
         }
     }

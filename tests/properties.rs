@@ -107,8 +107,9 @@ fn generated_programs_differential() {
     }
 }
 
-/// The optimizer (inlining + promotion + elision) never changes observable
-/// behaviour, on top of arbitrary generated programs.
+/// The optimizer (inlining + promotion + elision + hoisting + premods)
+/// never changes observable behaviour, at any level, on top of arbitrary
+/// generated programs.
 #[test]
 fn optimizer_is_semantics_preserving() {
     for seed in 0..32 {
@@ -117,18 +118,22 @@ fn optimizer_is_semantics_preserving() {
         let base = Vm::new(&Image::baseline(&m)).run();
         rsti_core::inline_leaf_functions(&mut m, 96);
         for mech in Mechanism::ALL {
-            let mut p = rsti_core::instrument(&m, mech);
-            rsti_core::optimize_program(&mut p);
-            let r = Vm::new(&Image::from_instrumented(&p)).run();
-            assert_eq!(r.status, base.status, "seed {seed} {mech}");
-            assert_eq!(r.output, base.output, "seed {seed} {mech}");
+            for level in rsti_core::OptLevel::ALL {
+                let mut p = rsti_core::instrument(&m, mech);
+                rsti_core::optimize_module(&mut p.module, level);
+                let r = Vm::new(&Image::from_instrumented(&p)).run();
+                assert_eq!(r.status, base.status, "seed {seed} {mech} {}", level.label());
+                assert_eq!(r.output, base.output, "seed {seed} {mech} {}", level.label());
+            }
         }
-        // And the optimized baseline too.
-        let mut mb = m.clone();
-        rsti_core::optimize_baseline(&mut mb);
-        let rb = Vm::new(&Image::baseline(&mb)).run();
-        assert_eq!(rb.status, base.status, "seed {seed}");
-        assert_eq!(rb.output, base.output, "seed {seed}");
+        // And the optimized baseline too, at every level.
+        for level in rsti_core::OptLevel::ALL {
+            let mut mb = m.clone();
+            rsti_core::optimize_module(&mut mb, level);
+            let rb = Vm::new(&Image::baseline(&mb)).run();
+            assert_eq!(rb.status, base.status, "seed {seed} {}", level.label());
+            assert_eq!(rb.output, base.output, "seed {seed} {}", level.label());
+        }
     }
 }
 
