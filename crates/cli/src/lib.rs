@@ -4,9 +4,9 @@
 //!
 //! ```text
 //! rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive]
-//!                    [--backend pac|mac] [--opt none|block|cfg] [--stats]
-//!                    [--trace out.jsonl]
-//! rsti profile <file.mc> [--mech ...] [--opt none|block|cfg] [--trace out.jsonl]
+//!                    [--backend pac|mac|interp|compiled]
+//!                    [--opt none|block|cfg] [--stats] [--trace out.jsonl]
+//! rsti profile <file.mc> [--mech ...] [--backend ...] [--opt none|block|cfg] [--trace out.jsonl]
 //! rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
 //! rsti instrument <file.mc> [--mech ...]        # dump instrumented IR
 //! rsti equivalence <file.mc>                    # Table 3 row for a file
@@ -136,6 +136,11 @@ fn cmd_fuzz(args: &[String]) -> Result<(i32, String), String> {
         minimize: args.iter().any(|a| a == "--minimize"),
         ..Default::default()
     };
+    // The campaign cross-checks the compiled engine by default;
+    // `--backend interp` opts out. (Enforcement backends are part of the
+    // oracle matrix itself, so `pac`/`mac` are accepted but irrelevant.)
+    let (_enforce, exec) = parse_backends(args)?;
+    rsti_fuzz::set_exec_oracle(exec != Some(rsti_vm::ExecBackend::Interp));
     let corpus_dir = flag_value(args, "--corpus");
 
     let report = rsti_fuzz::run_campaign(&cfg);
@@ -181,21 +186,29 @@ fn cmd_fuzz(args: &[String]) -> Result<(i32, String), String> {
 
 const USAGE: &str = "\
 usage:
-  rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac] [--opt none|block|cfg] [--stats] [--trace out.jsonl]
-  rsti profile <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--opt none|block|cfg] [--trace out.jsonl]
+  rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--stats] [--trace out.jsonl]
+  rsti profile <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--trace out.jsonl]
 
   --optimize is shorthand for --opt cfg (the full pipeline).
+  --backend selects the enforcement scheme (pac|mac) or the execution
+  engine (interp|compiled); repeat the flag to set both axes.
   rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
   rsti instrument <file.mc> [--mech stwc|stc|stl|parts]
   rsti equivalence <file.mc>
-  rsti fuzz [--seeds N] [--start S] [--minimize] [--corpus DIR] [--trace out.jsonl]
+  rsti fuzz [--seeds N] [--start S] [--backend interp|compiled] [--minimize] [--corpus DIR] [--trace out.jsonl]
 
+  fuzz cross-checks the compiled engine against the interpreter on every
+  run; --backend interp opts out (interpreter-only campaign).
   RSTI_TRACE=<path> in the environment is equivalent to --trace <path>.
 ";
 
 /// Mechanism names the usage string offers for `--mech` (kept in sync by
 /// a unit test).
 pub const USAGE_MECHS: [&str; 6] = ["stwc", "stc", "stl", "parts", "none", "adaptive"];
+
+/// Backend names the usage string offers for `--backend`: two enforcement
+/// schemes and two execution engines (kept in sync by a unit test).
+pub const USAGE_BACKENDS: [&str; 4] = ["pac", "mac", "interp", "compiled"];
 
 fn read_source(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
@@ -244,12 +257,55 @@ fn build_image(
     (Image::from_instrumented(&p), Some(stats))
 }
 
-fn apply_backend(img: Image, args: &[String]) -> Result<Image, String> {
-    match flag_value(args, "--backend") {
-        Some("mac") => Ok(img.with_backend(rsti_vm::Backend::MacTable)),
-        Some("pac") | None => Ok(img),
-        Some(other) => Err(format!("unknown backend `{other}` (pac|mac)")),
+/// Splits every `--backend` occurrence onto the two axes the flag selects:
+/// the enforcement scheme (`pac`|`mac` — how signatures are stored) and the
+/// execution engine (`interp`|`compiled` — how blocks are dispatched). The
+/// flag may be given once per axis; `None` on either axis means the caller's
+/// default (PAC-in-pointer; the interpreter for `run`/`profile`, the
+/// cross-checking differential pair for `fuzz`).
+///
+/// # Errors
+/// Returns a message for unknown names, a missing value, or a repeated
+/// choice on the same axis.
+pub fn parse_backends(
+    args: &[String],
+) -> Result<(Option<rsti_vm::Backend>, Option<rsti_vm::ExecBackend>), String> {
+    let mut enforce: Option<rsti_vm::Backend> = None;
+    let mut exec: Option<rsti_vm::ExecBackend> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] != "--backend" {
+            i += 1;
+            continue;
+        }
+        let v = args
+            .get(i + 1)
+            .ok_or("--backend needs a value (pac|mac|interp|compiled)")?;
+        match v.as_str() {
+            "pac" | "mac" => {
+                let b = if v == "mac" { rsti_vm::Backend::MacTable } else { rsti_vm::Backend::PacInPointer };
+                if enforce.replace(b).is_some() {
+                    return Err(format!("enforcement backend given twice (`--backend {v}`)"));
+                }
+            }
+            "interp" | "compiled" => {
+                let e = if v == "compiled" { rsti_vm::ExecBackend::Compiled } else { rsti_vm::ExecBackend::Interp };
+                if exec.replace(e).is_some() {
+                    return Err(format!("execution backend given twice (`--backend {v}`)"));
+                }
+            }
+            other => return Err(format!("unknown backend `{other}` (pac|mac|interp|compiled)")),
+        }
+        i += 2;
     }
+    Ok((enforce, exec))
+}
+
+fn apply_backend(img: Image, args: &[String]) -> Result<Image, String> {
+    let (enforce, exec) = parse_backends(args)?;
+    Ok(img
+        .with_backend(enforce.unwrap_or(rsti_vm::Backend::PacInPointer))
+        .with_exec(exec.unwrap_or(rsti_vm::ExecBackend::Interp)))
 }
 
 fn render_audit(out: &mut String, r: &ExecResult) {
@@ -479,6 +535,62 @@ mod tests {
         let (code, out) = run_cli(&["run".into(), f]);
         assert_eq!(code, 1);
         assert!(out.contains("line"), "{out}");
+    }
+
+    #[test]
+    fn every_usage_listed_backend_parses() {
+        // The usage string and `parse_backends` must not drift: every name
+        // the help offers is accepted and lands on the expected axis.
+        for name in USAGE_BACKENDS {
+            assert!(USAGE.contains(name), "usage lists `{name}`");
+            let args = ["--backend".to_string(), name.to_string()];
+            let (enforce, exec) = parse_backends(&args).unwrap_or_else(|e| panic!("`{name}`: {e}"));
+            match name {
+                "pac" => assert_eq!(enforce, Some(rsti_vm::Backend::PacInPointer)),
+                "mac" => assert_eq!(enforce, Some(rsti_vm::Backend::MacTable)),
+                "interp" => assert_eq!(exec, Some(rsti_vm::ExecBackend::Interp)),
+                "compiled" => assert_eq!(exec, Some(rsti_vm::ExecBackend::Compiled)),
+                other => panic!("untested usage backend `{other}`"),
+            }
+        }
+        // Both axes at once; duplicates on one axis are rejected.
+        let both: Vec<String> =
+            ["--backend", "mac", "--backend", "compiled"].map(String::from).into();
+        assert_eq!(
+            parse_backends(&both).unwrap(),
+            (Some(rsti_vm::Backend::MacTable), Some(rsti_vm::ExecBackend::Compiled))
+        );
+        let dup: Vec<String> =
+            ["--backend", "interp", "--backend", "compiled"].map(String::from).into();
+        assert!(parse_backends(&dup).unwrap_err().contains("twice"));
+        assert!(parse_backends(&["--backend".to_string()]).is_err());
+    }
+
+    #[test]
+    fn run_with_compiled_engine_matches_interp_output() {
+        let f = write_temp("rsti_cli_compiled.mc", PROG);
+        let interp = run_cli(&["run".into(), f.clone(), "--stats".into()]);
+        let compiled = run_cli(&[
+            "run".into(),
+            f.clone(),
+            "--backend".into(),
+            "compiled".into(),
+            "--stats".into(),
+        ]);
+        assert_eq!(interp, compiled, "engines must agree on output and stats");
+        // Both axes together, with the optimizer on.
+        let (code, out) = run_cli(&[
+            "run".into(),
+            f,
+            "--backend".into(),
+            "mac".into(),
+            "--backend".into(),
+            "compiled".into(),
+            "--opt".into(),
+            "cfg".into(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("42"), "{out}");
     }
 
     #[test]

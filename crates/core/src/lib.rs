@@ -42,7 +42,7 @@ pub mod storage;
 pub use equivalence::{equivalence_stats, EquivalenceStats};
 pub use instrument::{instrument, instrument_adaptive, GlobalSign, InstrumentStats, InstrumentedProgram};
 pub use optimize::{
-    inline_leaf_functions, optimize_baseline, optimize_module, optimize_program,
+    compact_values, inline_leaf_functions, optimize_baseline, optimize_module, optimize_program,
     optimize_program_at, OptLevel, OptSummary,
 };
 pub use replay::{recommend, replay_surface, ReplaySurface, DEFAULT_ECV_THRESHOLD};

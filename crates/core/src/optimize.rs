@@ -47,7 +47,10 @@
 //! only. Program outputs stay bit-identical across all levels for every
 //! mechanism; `verify_module` holds after every stage boundary.
 
-use rsti_ir::{BlockId, Cfg, DomTree, Inst, InstNode, LoopForest, Module, Operand, PacKey, ValueId};
+use rsti_ir::{
+    BlockId, Cfg, DomTree, Inst, InstNode, LoopForest, Module, Operand, PacKey, Terminator,
+    ValueId,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Runs elision over every function; returns the number of authentication
@@ -926,6 +929,8 @@ pub struct OptSummary {
     pub elided_dom: usize,
     /// STL modifiers folded to immediates.
     pub premods: usize,
+    /// Dead value ids dropped by the final renumbering.
+    pub compacted: usize,
 }
 
 impl OptSummary {
@@ -934,6 +939,178 @@ impl OptSummary {
     pub fn total(&self) -> usize {
         self.promoted + self.elided_block + self.hoisted + self.elided_dom
     }
+}
+
+/// Dense value-id renumbering — the post-optimize hook both execution
+/// engines size their per-frame state from. The elision stages delete
+/// instructions but leave their `ValueId`s allocated, so `value_types`
+/// keeps a slot for every removed auth in every frame: the interpreter's
+/// register file and the compiled engine's operand-slot tables stay as
+/// wide as the *unoptimized* function. Compaction renumbers the surviving
+/// values densely (order-preserving, so diffs stay readable) and shrinks
+/// the type table to match.
+///
+/// A function holding an out-of-range value reference is left untouched:
+/// such references never come from the frontend, and renumbering a
+/// malformed function would change *which* reference dangles.
+///
+/// Returns the number of value slots dropped across the module.
+pub fn compact_values(m: &mut Module) -> usize {
+    fn remap_v(v: &mut ValueId, remap: &[u32]) {
+        v.0 = remap[v.0 as usize];
+    }
+    fn remap_op(op: &mut Operand, remap: &[u32]) {
+        if let Operand::Value(v) = op {
+            remap_v(v, remap);
+        }
+    }
+    fn remap_inst(inst: &mut Inst, remap: &[u32]) {
+        match inst {
+            Inst::Alloca { result, .. } => remap_v(result, remap),
+            Inst::Load { result, ptr, .. } => {
+                remap_v(result, remap);
+                remap_op(ptr, remap);
+            }
+            Inst::Store { value, ptr } => {
+                remap_op(value, remap);
+                remap_op(ptr, remap);
+            }
+            Inst::FieldAddr { result, base, .. } => {
+                remap_v(result, remap);
+                remap_op(base, remap);
+            }
+            Inst::IndexAddr { result, base, index, .. } => {
+                remap_v(result, remap);
+                remap_op(base, remap);
+                remap_op(index, remap);
+            }
+            Inst::BitCast { result, value, .. } | Inst::Convert { result, value, .. } => {
+                remap_v(result, remap);
+                remap_op(value, remap);
+            }
+            Inst::Bin { result, lhs, rhs, .. } | Inst::Cmp { result, lhs, rhs, .. } => {
+                remap_v(result, remap);
+                remap_op(lhs, remap);
+                remap_op(rhs, remap);
+            }
+            Inst::Call { result, args, .. } => {
+                if let Some(r) = result {
+                    remap_v(r, remap);
+                }
+                for a in args {
+                    remap_op(a, remap);
+                }
+            }
+            Inst::CallIndirect { result, callee, args, .. } => {
+                if let Some(r) = result {
+                    remap_v(r, remap);
+                }
+                remap_op(callee, remap);
+                for a in args {
+                    remap_op(a, remap);
+                }
+            }
+            Inst::Malloc { result, size, .. } => {
+                remap_v(result, remap);
+                remap_op(size, remap);
+            }
+            Inst::Free { ptr } => remap_op(ptr, remap),
+            Inst::PrintInt { value } => remap_op(value, remap),
+            Inst::PrintStr { .. } | Inst::PpAdd { .. } => {}
+            Inst::PacSign { result, value, loc, .. }
+            | Inst::PacAuth { result, value, loc, .. } => {
+                remap_v(result, remap);
+                remap_op(value, remap);
+                if let Some(l) = loc {
+                    remap_op(l, remap);
+                }
+            }
+            Inst::PacStrip { result, value }
+            | Inst::PpSign { result, value, .. }
+            | Inst::PpAddTbi { result, value, .. }
+            | Inst::PpAuth { result, value, .. } => {
+                remap_v(result, remap);
+                remap_op(value, remap);
+            }
+        }
+    }
+
+    let mut dropped = 0usize;
+    'funcs: for f in &mut m.funcs {
+        if f.is_external {
+            continue;
+        }
+        let n = f.value_types.len();
+        let mut used = vec![false; n];
+        {
+            let mut mark = |v: ValueId| match used.get_mut(v.0 as usize) {
+                Some(u) => {
+                    *u = true;
+                    true
+                }
+                None => false,
+            };
+            for (pv, _) in &f.params {
+                if !mark(*pv) {
+                    continue 'funcs;
+                }
+            }
+            for b in &f.blocks {
+                for node in &b.insts {
+                    if let Some(r) = node.inst.result() {
+                        if !mark(r) {
+                            continue 'funcs;
+                        }
+                    }
+                    for op in node.inst.operands() {
+                        if let Operand::Value(v) = op {
+                            if !mark(*v) {
+                                continue 'funcs;
+                            }
+                        }
+                    }
+                }
+                let term_value = match &b.term {
+                    Terminator::CondBr { cond: Operand::Value(v), .. } => Some(*v),
+                    Terminator::Ret(Some(Operand::Value(v))) => Some(*v),
+                    _ => None,
+                };
+                if let Some(v) = term_value {
+                    if !mark(v) {
+                        continue 'funcs;
+                    }
+                }
+            }
+        }
+        let live = used.iter().filter(|&&u| u).count();
+        if live == n {
+            continue;
+        }
+        let mut remap = vec![u32::MAX; n];
+        let mut new_types = Vec::with_capacity(live);
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                remap[i] = new_types.len() as u32;
+                new_types.push(f.value_types[i]);
+            }
+        }
+        for (pv, _) in &mut f.params {
+            remap_v(pv, &remap);
+        }
+        for b in &mut f.blocks {
+            for node in &mut b.insts {
+                remap_inst(&mut node.inst, &remap);
+            }
+            match &mut b.term {
+                Terminator::CondBr { cond, .. } => remap_op(cond, &remap),
+                Terminator::Ret(Some(op)) => remap_op(op, &remap),
+                _ => {}
+            }
+        }
+        f.value_types = new_types;
+        dropped += n - live;
+    }
+    dropped
 }
 
 fn verify_stage(m: &Module, stage: &str) {
@@ -968,6 +1145,8 @@ pub fn optimize_module(m: &mut Module, level: OptLevel) -> OptSummary {
         s.premods = precompute_pac_modifiers(m);
         verify_stage(m, "premod");
     }
+    s.compacted = compact_values(m);
+    verify_stage(m, "compact");
     s
 }
 

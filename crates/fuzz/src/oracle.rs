@@ -14,6 +14,11 @@
 //! 3. **No panics**: every stage runs under `catch_unwind`; a panic anywhere
 //!    in the frontend, a pass, or the VM is a reportable failure even when
 //!    the output would otherwise agree.
+//! 4. **Backend equivalence**: every VM run in the matrix executes under
+//!    both engines — the interpreter and the closure-threaded compiled
+//!    engine — and the complete [`rsti_vm::ExecResult`]s (status, output,
+//!    cycle/instruction totals, PAC counters, audit records) must be
+//!    identical. The interpreter is the compiled engine's oracle.
 //!
 //! Failures carry a stable [`FailureKind::class_key`] so the delta-debugging
 //! reducer can insist that a shrunken candidate reproduces the *same* bug,
@@ -24,7 +29,7 @@ use rsti_frontend::ast::Item;
 use rsti_frontend::{ast_eq_items, compile, parse, print_items};
 use rsti_ir::verify_module;
 use rsti_ir::Module;
-use rsti_vm::{Image, Status, Trap, Vm};
+use rsti_vm::{ExecBackend, ExecResult, Image, Status, Trap, Vm};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -98,6 +103,13 @@ pub enum FailureKind {
         /// First differing line, `base` vs `got`.
         detail: String,
     },
+    /// The compiled engine disagreed with the interpreter on the same image.
+    BackendDivergence {
+        /// Pipeline configuration label.
+        config: String,
+        /// First differing `ExecResult` field, interpreter vs compiled.
+        detail: String,
+    },
 }
 
 impl FailureKind {
@@ -127,6 +139,9 @@ impl FailureKind {
             FailureKind::OutputDivergence { config, .. } => {
                 format!("output_divergence:{config}")
             }
+            FailureKind::BackendDivergence { config, .. } => {
+                format!("backend_divergence:{config}")
+            }
         }
     }
 }
@@ -149,6 +164,9 @@ impl std::fmt::Display for FailureKind {
             }
             FailureKind::OutputDivergence { config, detail } => {
                 write!(f, "output divergence ({config}): {detail}")
+            }
+            FailureKind::BackendDivergence { config, detail } => {
+                write!(f, "backend divergence ({config}): {detail}")
             }
         }
     }
@@ -175,6 +193,23 @@ pub(crate) fn panic_msg(p: Box<dyn Any + Send>) -> String {
     }
 }
 
+thread_local! {
+    /// Whether [`run_image`] cross-checks the compiled engine against the
+    /// interpreter (the `exec=compiled` oracle column). On by default;
+    /// `rsti fuzz --backend interp` opts out for an interpreter-only
+    /// campaign. Thread-local because parallel in-process campaigns (the
+    /// test harness) must not see each other's choice.
+    static EXEC_ORACLE: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
+}
+
+/// Enables or disables the compiled-engine oracle column for campaigns on
+/// the current thread.
+pub fn set_exec_oracle(on: bool) {
+    EXEC_ORACLE.with(|c| c.set(on));
+}
+
+/// Runs one image under both engines, diffs the complete [`ExecResult`]s
+/// (the `exec=compiled` oracle column), and returns the interpreter's view.
 fn run_image(img: &Image, config: &str) -> Result<(Status, Vec<String>), FailureKind> {
     let r = catch_unwind(AssertUnwindSafe(|| {
         let mut vm = Vm::new(img);
@@ -182,7 +217,46 @@ fn run_image(img: &Image, config: &str) -> Result<(Status, Vec<String>), Failure
         vm.run()
     }))
     .map_err(|p| FailureKind::VmPanic { config: config.into(), detail: panic_msg(p) })?;
+    if !EXEC_ORACLE.with(|c| c.get()) {
+        return Ok((r.status, r.output));
+    }
+    let cimg = img.clone().with_exec(ExecBackend::Compiled);
+    let c = catch_unwind(AssertUnwindSafe(|| {
+        let mut vm = Vm::new(&cimg);
+        vm.set_fuel(FUEL);
+        vm.run()
+    }))
+    .map_err(|p| FailureKind::VmPanic {
+        config: format!("{config}@compiled"),
+        detail: panic_msg(p),
+    })?;
+    if c != r {
+        return Err(FailureKind::BackendDivergence {
+            config: config.into(),
+            detail: backend_diff(&r, &c),
+        });
+    }
     Ok((r.status, r.output))
+}
+
+/// Names the first `ExecResult` field on which the engines disagree.
+fn backend_diff(i: &ExecResult, c: &ExecResult) -> String {
+    if i.status != c.status {
+        return format!("status: interp {:?} vs compiled {:?}", i.status, c.status);
+    }
+    if i.output != c.output {
+        return format!("output: {} vs {} lines", i.output.len(), c.output.len());
+    }
+    if i.insts != c.insts {
+        return format!("insts: interp {} vs compiled {}", i.insts, c.insts);
+    }
+    if i.cycles != c.cycles {
+        return format!("cycles: interp {} vs compiled {}", i.cycles, c.cycles);
+    }
+    if i.audit != c.audit {
+        return format!("audit: {} vs {} records", i.audit.len(), c.audit.len());
+    }
+    format!("field-level mismatch: interp {i:?} vs compiled {c:?}")
 }
 
 fn check_verified(m: &Module, stage: &str, config: &str) -> Result<(), FailureKind> {

@@ -54,6 +54,8 @@ pub enum Phase {
     Instrument,
     /// Core: the O2-model optimizer (`optimize_program`).
     Optimize,
+    /// VM: basic-block compilation for the closure-threaded engine.
+    VmCompile,
     /// VM: program execution.
     VmRun,
     /// Fuzzing: grammar-directed program generation plus the oracle runs.
@@ -64,13 +66,14 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Parse,
         Phase::Lower,
         Phase::CollectFacts,
         Phase::Analyze,
         Phase::Instrument,
         Phase::Optimize,
+        Phase::VmCompile,
         Phase::VmRun,
         Phase::FuzzGen,
         Phase::FuzzMinimize,
@@ -85,6 +88,7 @@ impl Phase {
             Phase::Analyze => "analyze",
             Phase::Instrument => "instrument",
             Phase::Optimize => "optimize",
+            Phase::VmCompile => "vm_compile",
             Phase::VmRun => "vm_run",
             Phase::FuzzGen => "fuzz_gen",
             Phase::FuzzMinimize => "fuzz_minimize",
@@ -136,6 +140,12 @@ pub enum CounterId {
     /// Tweak-schedule memo misses (LFSR expansions).
     SchedMemoMisses,
     // -- VM dynamic counts --
+    /// Finished runs executed by the interpreter.
+    VmRunsInterp,
+    /// Finished runs executed by the closure-threaded compiled engine.
+    VmRunsCompiled,
+    /// Basic blocks compiled for the closure-threaded engine.
+    VmCompiledBlocks,
     /// Dynamic `pac` (sign) operations executed.
     VmPacSigns,
     /// Dynamic `aut` operations executed.
@@ -170,7 +180,7 @@ pub enum CounterId {
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [CounterId; 30] = [
+    pub const ALL: [CounterId; 33] = [
         CounterId::SignsInserted,
         CounterId::AuthsInserted,
         CounterId::AuthsElidedBlock,
@@ -187,6 +197,9 @@ impl CounterId {
         CounterId::PacMemoHits,
         CounterId::SchedMemoHits,
         CounterId::SchedMemoMisses,
+        CounterId::VmRunsInterp,
+        CounterId::VmRunsCompiled,
+        CounterId::VmCompiledBlocks,
         CounterId::VmPacSigns,
         CounterId::VmPacAuths,
         CounterId::VmAuthFailures,
@@ -222,6 +235,9 @@ impl CounterId {
             CounterId::PacMemoHits => "pac_memo_hits",
             CounterId::SchedMemoHits => "sched_memo_hits",
             CounterId::SchedMemoMisses => "sched_memo_misses",
+            CounterId::VmRunsInterp => "vm_runs_interp",
+            CounterId::VmRunsCompiled => "vm_runs_compiled",
+            CounterId::VmCompiledBlocks => "vm_compiled_blocks",
             CounterId::VmPacSigns => "vm_pac_signs",
             CounterId::VmPacAuths => "vm_pac_auths",
             CounterId::VmAuthFailures => "vm_auth_failures",
@@ -791,7 +807,8 @@ mod tests {
             "auths_hoisted", "modifiers_precomputed", "strips_inserted",
             "pp_sites_inserted", "classes_stwc", "classes_stc", "classes_stl",
             "classes_parts", "qarma_calls", "pac_memo_hits", "sched_memo_hits",
-            "sched_memo_misses", "vm_pac_signs", "vm_pac_auths", "vm_auth_failures",
+            "sched_memo_misses", "vm_runs_interp", "vm_runs_compiled",
+            "vm_compiled_blocks", "vm_pac_signs", "vm_pac_auths", "vm_auth_failures",
             "vm_traps", "vm_violations", "vm_inst_mem", "vm_inst_arith", "vm_inst_call",
             "vm_inst_pac", "vm_inst_branch", "vm_inst_other", "fuzz_seeds_run",
             "fuzz_failures", "fuzz_minimize_attempts",
@@ -799,8 +816,8 @@ mod tests {
         let got: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(got, expected_names, "counter taxonomy drifted");
         let expected_phases = [
-            "parse", "lower", "collect_facts", "analyze", "instrument", "optimize", "vm_run",
-            "fuzz_gen", "fuzz_minimize",
+            "parse", "lower", "collect_facts", "analyze", "instrument", "optimize",
+            "vm_compile", "vm_run", "fuzz_gen", "fuzz_minimize",
         ];
         let got: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
         assert_eq!(got, expected_phases, "phase taxonomy drifted");

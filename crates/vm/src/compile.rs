@@ -1,0 +1,1511 @@
+//! The closure-threaded compiled execution engine.
+//!
+//! [`compile_module`] translates every basic block, once, into a chain of
+//! Rust closures ([`CompiledOp`]) with the interpreter's per-instruction
+//! work hoisted to compile time:
+//!
+//! * **operand slots** are pre-resolved — a register index, an immediate,
+//!   or an already-laid-out global/string/function address — so executing
+//!   an operand is an array load instead of an `Operand` match;
+//! * **type layouts are pre-folded** — `Alloca` sizes, `FieldAddr`
+//!   offsets, `IndexAddr` element sizes, and `Load` width dispatch become
+//!   captured constants;
+//! * **PAC call shapes are pre-computed** — key ids, static modifiers,
+//!   site indices, and the enforcement-backend arm are chosen at compile
+//!   time;
+//! * **successor links are direct-threaded** — `br`/`cond_br` continue in
+//!   the driver loop without returning to the outer dispatch.
+//!
+//! The engine is *observably identical* to the interpreter: same traps
+//! (including `BadProgram` message text), same violation audit records,
+//! same cycle-model and instruction accounting, same telemetry counters.
+//! That is a load-bearing property, not a nicety — it makes the
+//! interpreter the differential oracle for this engine (rsti-fuzz checks
+//! every mechanism × opt level under both), and it means every Fig. 9/10
+//! number is backend-independent. Parity is engineered in three places:
+//!
+//! 1. **Accounting**: straight-line runs are pre-charged from per-block
+//!    cycle prefix sums and rolled back over the unexecuted suffix when
+//!    an op traps or transfers control, reproducing the interpreter's
+//!    charge-before-execute totals exactly; block entry/exit is funded
+//!    through the shared [`Vm::charge_block_transfer`] site.
+//! 2. **Diagnostics**: the interpreter commits the frame's instruction
+//!    index before every instruction so trap records can read the source
+//!    line. Compiled closures commit it lazily — only on the (cold) paths
+//!    that build audit records, and before every frame push.
+//! 3. **Rare shapes**: `ret`/`unreachable` and anything layout-dependent
+//!    in a malformed image defer to the interpreter's own code paths, so
+//!    the tricky cases have exactly one implementation.
+
+use super::*;
+use rsti_ir::{BasicBlock, Function};
+use std::cmp::Ordering;
+
+/// What an op tells the driver to do next. Traps travel boxed so the
+/// closure return value fits in registers — the unboxed `Result<_, Trap>`
+/// is several words wide and forced a memory round-trip on *every* op
+/// dispatch, trapping or not.
+pub(crate) enum Control {
+    /// Fall through to the next op in the block.
+    Next,
+    /// Control left the block (a frame was pushed): return to the driver.
+    Transfer,
+    /// The op trapped.
+    Trap(Box<Trap>),
+}
+
+type OpFn = Box<dyn for<'a, 'b> Fn(&'a mut Vm<'b>) -> Control + Send + Sync>;
+
+/// `?` for closures returning [`Control`]: unwraps a `Result<_, Trap>` or
+/// routes the trap through the (boxed) control channel.
+macro_rules! tri {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(t) => return Control::Trap(Box::new(t)),
+        }
+    };
+}
+
+/// Per-instruction accounting the interpreter would have charged — kept
+/// out of the closure array so the fast path streams only fat pointers.
+pub(crate) struct OpCharge {
+    /// Cycle cost ([`CostModel::cost`] of the source instruction).
+    cost: u64,
+    /// Opcode class index, for the telemetry-enabled slow path.
+    class: usize,
+}
+
+/// A compiled terminator. Branches are direct-threaded; everything else
+/// (returns, unreachable) defers to the interpreter's `exec_term` so the
+/// shadow-stack/corrupted-return logic has a single implementation.
+pub(crate) enum CompiledTerm {
+    Br(u32),
+    /// Conditional branch on a register — the dominant shape, with the
+    /// operand match pre-folded away.
+    CondBrReg { v: ValueId, then_bb: u32, else_bb: u32 },
+    CondBr { cond: Slot, then_bb: u32, else_bb: u32 },
+    Slow(Terminator),
+}
+
+/// One compiled basic block.
+pub(crate) struct CompiledBlock {
+    ops: Vec<OpFn>,
+    /// Slow-path accounting, parallel to `ops`.
+    charge: Vec<OpCharge>,
+    /// `cost_prefix[i]` = cycles of `ops[..i]`; length `ops.len() + 1`.
+    /// Lets the fast path charge (and roll back) any run of ops with two
+    /// subtractions instead of a loop.
+    cost_prefix: Vec<u64>,
+    /// `cost_prefix[ops.len()]`, inlined in the block header: entries at
+    /// `idx == 0` — every transfer except a call resume — charge without
+    /// touching the prefix-sum allocation.
+    total_cost: u64,
+    term: CompiledTerm,
+}
+
+/// A compiled function body (empty for externals, which can never hold a
+/// frame).
+pub(crate) struct CompiledFunc {
+    blocks: Vec<CompiledBlock>,
+}
+
+/// A fully compiled module, cached on the [`Image`].
+pub(crate) struct CompiledModule {
+    funcs: Vec<CompiledFunc>,
+    /// The image configuration the code was specialized against; the
+    /// cache revalidates this before reuse.
+    pub(crate) fingerprint: (CostModel, Backend),
+    /// Total compiled blocks (telemetry).
+    pub(crate) n_blocks: u64,
+}
+
+/// A pre-resolved operand.
+#[derive(Clone, Copy)]
+pub(crate) enum Slot {
+    /// Frame register (generation-checked at read, like `Vm::eval`).
+    Reg(ValueId),
+    /// Immediate: constants, and global/string/function addresses folded
+    /// against the module's deterministic layout.
+    Imm(RtVal),
+    /// Operand referencing a missing global/string table entry — fails
+    /// exactly when (and how) the interpreter's `eval` would.
+    Bad(&'static str, usize),
+}
+
+#[cold]
+#[inline(never)]
+fn undefined_use(v: ValueId) -> Trap {
+    Trap::BadProgram(format!("use of undefined {v}"))
+}
+
+/// The interpreter's silent int coercion (`binop`'s integer arm).
+#[inline(always)]
+fn int_of(v: RtVal) -> i64 {
+    match v {
+        RtVal::I(i) => i,
+        RtVal::P(p) => p as i64,
+        RtVal::F(f) => f as i64,
+    }
+}
+
+/// The interpreter's float coercion (`binop`'s F64 arm), trap text
+/// included.
+#[inline(always)]
+fn float_of(v: RtVal) -> Result<f64, Trap> {
+    match v {
+        RtVal::F(f) => Ok(f),
+        RtVal::I(i) => Ok(i as f64),
+        RtVal::P(_) => Err(Trap::BadProgram("pointer in float op".into())),
+    }
+}
+
+impl Slot {
+    #[inline(always)]
+    fn read(&self, vm: &Vm<'_>) -> Result<RtVal, Trap> {
+        match self {
+            Slot::Reg(v) => {
+                let Some(&(tag, val)) = vm.regs.get(vm.reg_base + v.0 as usize) else {
+                    return Err(oob("register", v.0 as usize));
+                };
+                if tag != vm.cur_gen {
+                    return Err(undefined_use(*v));
+                }
+                Ok(val)
+            }
+            Slot::Imm(v) => Ok(*v),
+            Slot::Bad(what, idx) => Err(oob(what, *idx)),
+        }
+    }
+
+    #[inline(always)]
+    fn read_ptr(&self, vm: &Vm<'_>) -> Result<u64, Trap> {
+        vm.as_ptr(self.read(vm)?)
+    }
+}
+
+/// Monomorphic operand access. A closure body that reads through [`Slot`]
+/// carries a per-execution variant branch — and because the closure code
+/// is shared by every instruction instance of that opcode, the branch
+/// site sees mixed Reg/Imm patterns and mispredicts. `dispatch2!` folds
+/// the match away at compile time for the dominant combinations.
+trait SlotR: Copy + Send + Sync + 'static {
+    fn get(self, vm: &Vm<'_>) -> Result<RtVal, Trap>;
+}
+
+/// A known-register operand: just the bounds + generation check.
+#[derive(Clone, Copy)]
+struct RegS(ValueId);
+
+/// A known-immediate operand: no runtime work at all.
+#[derive(Clone, Copy)]
+struct ImmS(RtVal);
+
+impl SlotR for RegS {
+    #[inline(always)]
+    fn get(self, vm: &Vm<'_>) -> Result<RtVal, Trap> {
+        let Some(&(tag, val)) = vm.regs.get(vm.reg_base + self.0 .0 as usize) else {
+            return Err(oob("register", self.0 .0 as usize));
+        };
+        if tag != vm.cur_gen {
+            return Err(undefined_use(self.0));
+        }
+        Ok(val)
+    }
+}
+
+impl SlotR for ImmS {
+    #[inline(always)]
+    fn get(self, _vm: &Vm<'_>) -> Result<RtVal, Trap> {
+        Ok(self.0)
+    }
+}
+
+/// The generic fallback (covers `Bad`, and `Imm x Imm` pairs the
+/// optimizer didn't fold).
+impl SlotR for Slot {
+    #[inline(always)]
+    fn get(self, vm: &Vm<'_>) -> Result<RtVal, Trap> {
+        self.read(vm)
+    }
+}
+
+/// Expands `$body` once per operand-kind combination of two slots, with
+/// `$a`/`$b` bound to monomorphic [`SlotR`] accessors. Each expansion
+/// builds its own closure type, so the `Slot` match runs at compile time,
+/// not per executed op.
+macro_rules! dispatch2 {
+    ($l:expr, $r:expr, |$a:ident, $b:ident| $body:expr) => {
+        match ($l, $r) {
+            (Slot::Reg(x), Slot::Reg(y)) => {
+                let ($a, $b) = (RegS(x), RegS(y));
+                $body
+            }
+            (Slot::Reg(x), Slot::Imm(y)) => {
+                let ($a, $b) = (RegS(x), ImmS(y));
+                $body
+            }
+            (Slot::Imm(x), Slot::Reg(y)) => {
+                let ($a, $b) = (ImmS(x), RegS(y));
+                $body
+            }
+            (l, r) => {
+                let ($a, $b) = (l, r);
+                $body
+            }
+        }
+    };
+}
+
+/// Single-slot counterpart of [`dispatch2!`].
+macro_rules! dispatch1 {
+    ($l:expr, |$a:ident| $body:expr) => {
+        match $l {
+            Slot::Reg(x) => {
+                let $a = RegS(x);
+                $body
+            }
+            Slot::Imm(x) => {
+                let $a = ImmS(x);
+                $body
+            }
+            l => {
+                let $a = l;
+                $body
+            }
+        }
+    };
+}
+
+/// Pre-folded `Load` width dispatch (the `load_typed` match, decided at
+/// compile time).
+enum LoadKind {
+    I8,
+    I16,
+    I32,
+    I64,
+    F64,
+    Ptr,
+    /// Unsupported pointee: the interpreter's error, pre-rendered.
+    Bad(String),
+    /// Out-of-range `TypeId` in a malformed image: defer to `load_typed`
+    /// so the failure mode (a runtime panic) matches the interpreter.
+    Deferred(TypeId),
+}
+
+/// Pre-folded `wrap_int` target width.
+#[derive(Clone, Copy)]
+enum WrapKind {
+    Bool,
+    I8,
+    I16,
+    I32,
+    Pass,
+}
+
+impl WrapKind {
+    #[inline(always)]
+    fn apply(self, v: i64) -> i64 {
+        match self {
+            WrapKind::Bool => (v != 0) as i64,
+            WrapKind::I8 => v as i8 as i64,
+            WrapKind::I16 => v as i16 as i64,
+            WrapKind::I32 => v as i32 as i64,
+            WrapKind::Pass => v,
+        }
+    }
+}
+
+/// Pre-resolved direct-call target.
+enum Callee {
+    /// Out-of-range function id; errs after argument evaluation, exactly
+    /// like the interpreter's operand-eval-then-callee-check order.
+    Missing(usize),
+    External { name: String, ret: TypeId },
+    Internal(FuncId),
+}
+
+/// How a `Store` derives the slot (pointee) type it writes through.
+enum StoreTy {
+    /// Known at compile time; `None` falls back by value shape, exactly
+    /// like `store_slot_type`'s default arm.
+    Static(Option<TypeId>),
+    /// Malformed image (id out of table range): defer to the
+    /// interpreter's `store_slot_type`, panics and all.
+    Deferred(Operand),
+}
+
+/// Shared compile context: the module plus its deterministic layout,
+/// matching what `Vm::new` computes at load time.
+struct Cx<'m> {
+    m: &'m Module,
+    tl: TypeLayout,
+    gaddr: Vec<u64>,
+    saddr: Vec<u64>,
+    cost: CostModel,
+    backend: Backend,
+    ty_i64: TypeId,
+}
+
+impl Cx<'_> {
+    fn resolve(&self, op: &Operand) -> Slot {
+        match op {
+            Operand::Value(v) => Slot::Reg(*v),
+            Operand::ConstInt(v, _) => Slot::Imm(RtVal::I(*v)),
+            Operand::ConstFloat(bits, _) => Slot::Imm(RtVal::F(f64::from_bits(*bits))),
+            Operand::Null(_) => Slot::Imm(RtVal::P(0)),
+            Operand::FuncAddr(fid, _) => Slot::Imm(RtVal::P(func_address(self.m, *fid))),
+            Operand::GlobalAddr(gid, _) => match self.gaddr.get(gid.0 as usize) {
+                Some(&a) => Slot::Imm(RtVal::P(a)),
+                None => Slot::Bad("global", gid.0 as usize),
+            },
+            Operand::Str(sid, _) => match self.saddr.get(sid.0 as usize) {
+                Some(&a) => Slot::Imm(RtVal::P(a)),
+                None => Slot::Bad("string", sid.0 as usize),
+            },
+        }
+    }
+
+    /// Whether a `TypeId` can be looked up without panicking (malformed
+    /// images carry out-of-range ids; those arms defer to the
+    /// interpreter's lazy behavior instead of failing eagerly here).
+    fn ty_ok(&self, ty: TypeId) -> bool {
+        (ty.0 as usize) < self.m.types.len()
+    }
+
+    fn load_kind(&self, ty: TypeId) -> LoadKind {
+        if !self.ty_ok(ty) {
+            return LoadKind::Deferred(ty);
+        }
+        match self.m.types.get(ty) {
+            Type::Bool | Type::I8 => LoadKind::I8,
+            Type::I16 => LoadKind::I16,
+            Type::I32 => LoadKind::I32,
+            Type::I64 => LoadKind::I64,
+            Type::F64 => LoadKind::F64,
+            Type::Ptr(_) => LoadKind::Ptr,
+            other => LoadKind::Bad(format!("load of unsupported type {other:?}")),
+        }
+    }
+
+    fn wrap_kind(&self, ty: TypeId) -> WrapKind {
+        match self.m.types.get(ty) {
+            Type::Bool => WrapKind::Bool,
+            Type::I8 => WrapKind::I8,
+            Type::I16 => WrapKind::I16,
+            Type::I32 => WrapKind::I32,
+            _ => WrapKind::Pass,
+        }
+    }
+}
+
+/// Compiles an image's module against its cost model and enforcement
+/// backend. Pure over the module — runs share the result through the
+/// image's cache.
+pub(crate) fn compile_module(img: &Image) -> CompiledModule {
+    let m: &Module = &img.module;
+    let (saddr, _) = string_addresses(m);
+    let cx = Cx {
+        m,
+        tl: m.types.layout(),
+        gaddr: m.global_addresses(),
+        saddr,
+        cost: img.cost,
+        backend: img.backend,
+        ty_i64: m.types.i64(),
+    };
+    let mut n_blocks = 0u64;
+    let funcs = m
+        .funcs
+        .iter()
+        .map(|f| {
+            if f.is_external {
+                return CompiledFunc { blocks: Vec::new() };
+            }
+            n_blocks += f.blocks.len() as u64;
+            CompiledFunc {
+                blocks: f
+                    .blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, b)| compile_block(&cx, f, bi, b))
+                    .collect(),
+            }
+        })
+        .collect();
+    CompiledModule {
+        funcs,
+        fingerprint: (img.cost, img.backend),
+        n_blocks,
+    }
+}
+
+fn compile_block(cx: &Cx<'_>, f: &Function, bi: usize, b: &BasicBlock) -> CompiledBlock {
+    let mut ops = Vec::with_capacity(b.insts.len());
+    let mut charge = Vec::with_capacity(b.insts.len());
+    let mut cost_prefix = Vec::with_capacity(b.insts.len() + 1);
+    let mut total = 0u64;
+    cost_prefix.push(0);
+    for (i, node) in b.insts.iter().enumerate() {
+        let cost = cx.cost.cost(&node.inst);
+        total += cost;
+        cost_prefix.push(total);
+        ops.push(compile_inst(cx, f, bi, &node.inst, i + 1));
+        charge.push(OpCharge { cost, class: opcode_class(&node.inst) });
+    }
+    let term = match &b.term {
+        Terminator::Br(bb) => CompiledTerm::Br(bb.0),
+        Terminator::CondBr { cond, then_bb, else_bb } => match cx.resolve(cond) {
+            Slot::Reg(v) => {
+                CompiledTerm::CondBrReg { v, then_bb: then_bb.0, else_bb: else_bb.0 }
+            }
+            cond => CompiledTerm::CondBr { cond, then_bb: then_bb.0, else_bb: else_bb.0 },
+        },
+        t => CompiledTerm::Slow(t.clone()),
+    };
+    CompiledBlock { ops, charge, cost_prefix, total_cost: total, term }
+}
+
+/// Commits the frame's position so a trap's audit record reads the same
+/// source line the interpreter (which commits before every instruction)
+/// would report, and so a call's pushed frame knows where the caller
+/// resumes. The driver does not touch the frame on straight-line block
+/// transfers, so committing closures must write the block index too.
+#[cold]
+#[inline(never)]
+fn commit_pos(vm: &mut Vm<'_>, block: usize, next_idx: usize) {
+    let fr = vm.frames.last_mut().expect("active frame");
+    fr.block = block;
+    fr.idx = next_idx;
+}
+
+/// Compiles one instruction into a closure. `bi` is the index of the
+/// block holding it; `next_idx` is the index the interpreter would have
+/// committed before executing it (its position plus one): calls store
+/// both as the caller's resume point, and audit traps store them for
+/// line diagnostics.
+fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usize) -> OpFn {
+    let mac = cx.backend == Backend::MacTable;
+    match inst {
+        Inst::Alloca { result, ty, var } => {
+            let (result, ty, var) = (*result, *ty, *var);
+            let size = cx
+                .ty_ok(ty)
+                .then(|| cx.tl.size_of(ty).max(1).div_ceil(8).saturating_mul(8));
+            Box::new(move |vm| {
+                let fr = vm.frames.last().expect("frame");
+                let (tag, cached) =
+                    fr.alloca_cache.get(result.0 as usize).copied().unwrap_or((0, 0));
+                if tag == fr.gen {
+                    vm.set(result, RtVal::P(cached));
+                    return Control::Next;
+                }
+                // The malformed-image arm reproduces the interpreter's
+                // lazy layout lookup (and its panic).
+                let size = size
+                    .unwrap_or_else(|| vm.tl.size_of(ty).max(1).div_ceil(8).saturating_mul(8));
+                let addr = vm.stack_top;
+                if addr
+                    .checked_add(size)
+                    .is_none_or(|end| end >= layout::STACK_BASE + vm.img.stack_size)
+                {
+                    return Control::Trap(Box::new(Trap::StackOverflow));
+                }
+                vm.stack_top += size;
+                tri!(vm.mem.write_zeros(addr, size).map_err(|e| vm.mem_err(e)));
+                let fr = vm.frames.last_mut().expect("frame");
+                if result.0 as usize >= fr.alloca_cache.len() {
+                    grow_slots(&mut fr.alloca_cache, result.0 as usize, (0, 0));
+                }
+                fr.alloca_cache[result.0 as usize] = (fr.gen, addr);
+                if let Some(v) = var {
+                    fr.locals.push((v, addr));
+                }
+                vm.set(result, RtVal::P(addr));
+                Control::Next
+            })
+        }
+        Inst::Load { result, ptr, ty } => {
+            let result = *result;
+            let ptr = cx.resolve(ptr);
+            let kind = cx.load_kind(*ty);
+            let track = mac && cx.ty_ok(*ty) && cx.m.types.is_ptr(*ty);
+            // One closure per width (and per pointer-operand kind), so the
+            // executed path is ptr read -> canonicalize -> one fixed-width
+            // memory read -> register write, with no dispatch left.
+            dispatch1!(ptr, |ps| {
+                macro_rules! load_c {
+                    (|$vm:ident, $addr:ident| $body:expr) => {
+                        Box::new(move |$vm: &mut Vm<'_>| {
+                            let p = tri!($vm.as_ptr(tri!(ps.get($vm))));
+                            let $addr = tri!($vm.deref_addr(p));
+                            let v = $body;
+                            if track {
+                                $vm.last_ptr_load = Some($addr);
+                            }
+                            $vm.set(result, v);
+                            Control::Next
+                        })
+                    };
+                }
+                match kind {
+                    LoadKind::I8 => load_c!(|vm, addr| {
+                        let b = tri!(vm.mem.read_arr::<1>(addr).map_err(|e| vm.mem_err(e)));
+                        RtVal::I(b[0] as i8 as i64)
+                    }),
+                    LoadKind::I16 => load_c!(|vm, addr| {
+                        let b = tri!(vm.mem.read_arr::<2>(addr).map_err(|e| vm.mem_err(e)));
+                        RtVal::I(i16::from_le_bytes(b) as i64)
+                    }),
+                    LoadKind::I32 => load_c!(|vm, addr| {
+                        let b = tri!(vm.mem.read_arr::<4>(addr).map_err(|e| vm.mem_err(e)));
+                        RtVal::I(i32::from_le_bytes(b) as i64)
+                    }),
+                    LoadKind::I64 => load_c!(|vm, addr| {
+                        let b = tri!(vm.mem.read_arr::<8>(addr).map_err(|e| vm.mem_err(e)));
+                        RtVal::I(i64::from_le_bytes(b))
+                    }),
+                    LoadKind::F64 => load_c!(|vm, addr| {
+                        let b = tri!(vm.mem.read_arr::<8>(addr).map_err(|e| vm.mem_err(e)));
+                        RtVal::F(f64::from_le_bytes(b))
+                    }),
+                    LoadKind::Ptr => load_c!(|vm, addr| {
+                        let b = tri!(vm.mem.read_arr::<8>(addr).map_err(|e| vm.mem_err(e)));
+                        RtVal::P(u64::from_le_bytes(b))
+                    }),
+                    // The interpreter reaches the unsupported-type error
+                    // only after the pointer itself resolved, so the bad
+                    // arm still evaluates and canonicalizes it first.
+                    LoadKind::Bad(msg) => Box::new(move |vm: &mut Vm<'_>| {
+                        let p = tri!(vm.as_ptr(tri!(ps.get(vm))));
+                        tri!(vm.deref_addr(p));
+                        Control::Trap(Box::new(Trap::BadProgram(msg.clone())))
+                    }),
+                    LoadKind::Deferred(ty) => {
+                        load_c!(|vm, addr| tri!(vm.load_typed(addr, ty)))
+                    }
+                }
+            })
+        }
+        Inst::Store { value, ptr } => {
+            let value_s = cx.resolve(value);
+            let ptr_s = cx.resolve(ptr);
+            let sty = match ptr {
+                Operand::Value(v) if (v.0 as usize) < f.value_types.len() => {
+                    let p = f.value_type(*v);
+                    if cx.ty_ok(p) {
+                        StoreTy::Static(cx.m.types.pointee(p))
+                    } else {
+                        StoreTy::Deferred(ptr.clone())
+                    }
+                }
+                Operand::Value(_) => StoreTy::Deferred(ptr.clone()),
+                Operand::GlobalAddr(_, t) | Operand::Null(t) | Operand::Str(_, t) => {
+                    if cx.ty_ok(*t) {
+                        StoreTy::Static(cx.m.types.pointee(*t))
+                    } else {
+                        StoreTy::Deferred(ptr.clone())
+                    }
+                }
+                _ => StoreTy::Static(None),
+            };
+            let ty_i64 = cx.ty_i64;
+            // One closure per pre-decided slot-type source and width (and
+            // per operand-kind combination, via `dispatch2!`), so the hot
+            // (statically-typed) stores carry neither the slot-type
+            // derivation nor `store_typed`'s width match. The
+            // shape-mismatch arms defer to `store_typed` itself, which
+            // owns the error text (and the conversions, for F64).
+            dispatch2!(value_s, ptr_s, |vs, ps| {
+                // The shared prologue: value read, pointer read +
+                // canonicalize, and the MAC handoff, in the interpreter's
+                // order.
+                macro_rules! prologue {
+                    ($vm:ident, $v:ident, $addr:ident) => {
+                        let $v = tri!(vs.get($vm));
+                        let p = tri!($vm.as_ptr(tri!(ps.get($vm))));
+                        let $addr = tri!($vm.deref_addr(p));
+                        if mac {
+                            if let Some(m) = $vm.pending_mac.take() {
+                                $vm.mac_table.insert($addr, m);
+                            }
+                        }
+                    };
+                }
+                macro_rules! store_c {
+                    ($ty:expr, $pat:pat => $bytes:expr) => {{
+                        let ty = $ty;
+                        Box::new(move |vm: &mut Vm<'_>| {
+                            prologue!(vm, v, addr);
+                            match v {
+                                $pat => {
+                                    tri!(vm.mem.write_arr(addr, $bytes).map_err(|e| vm.mem_err(e)))
+                                }
+                                other => tri!(vm.store_typed(addr, ty, other)),
+                            }
+                            Control::Next
+                        })
+                    }};
+                }
+                match sty {
+                    StoreTy::Static(Some(ty)) => match cx.m.types.get(ty) {
+                        Type::Bool | Type::I8 => store_c!(ty, RtVal::I(i) => [i as u8]),
+                        Type::I16 => store_c!(ty, RtVal::I(i) => (i as i16).to_le_bytes()),
+                        Type::I32 => store_c!(ty, RtVal::I(i) => (i as i32).to_le_bytes()),
+                        Type::I64 => store_c!(ty, RtVal::I(i) => i.to_le_bytes()),
+                        Type::F64 => Box::new(move |vm: &mut Vm<'_>| {
+                            prologue!(vm, v, addr);
+                            let f = match v {
+                                RtVal::F(f) => f,
+                                RtVal::I(i) => i as f64,
+                                other => {
+                                    tri!(vm.store_typed(addr, ty, other));
+                                    return Control::Next;
+                                }
+                            };
+                            tri!(vm
+                                .mem
+                                .write_arr(addr, f.to_le_bytes())
+                                .map_err(|e| vm.mem_err(e)));
+                            Control::Next
+                        }),
+                        Type::Ptr(_) => Box::new(move |vm: &mut Vm<'_>| {
+                            prologue!(vm, v, addr);
+                            let pv = tri!(vm.as_ptr(v));
+                            tri!(vm
+                                .mem
+                                .write_arr(addr, pv.to_le_bytes())
+                                .map_err(|e| vm.mem_err(e)));
+                            Control::Next
+                        }),
+                        // Unsupported slot type: `store_typed`'s error,
+                        // lazily.
+                        _ => Box::new(move |vm: &mut Vm<'_>| {
+                            prologue!(vm, v, addr);
+                            tri!(vm.store_typed(addr, ty, v));
+                            Control::Next
+                        }),
+                    },
+                    StoreTy::Static(None) => Box::new(move |vm: &mut Vm<'_>| {
+                        prologue!(vm, v, addr);
+                        // Shape-derived slot type (`store_slot_type`'s
+                        // default arm): I and F write their natural width;
+                        // P derives i64 and lets `store_typed` produce the
+                        // mismatch error.
+                        match v {
+                            RtVal::I(i) => tri!(vm
+                                .mem
+                                .write_arr(addr, i.to_le_bytes())
+                                .map_err(|e| vm.mem_err(e))),
+                            RtVal::F(f) => tri!(vm
+                                .mem
+                                .write_arr(addr, f.to_le_bytes())
+                                .map_err(|e| vm.mem_err(e))),
+                            other => tri!(vm.store_typed(addr, ty_i64, other)),
+                        }
+                        Control::Next
+                    }),
+                    StoreTy::Deferred(op) => Box::new(move |vm: &mut Vm<'_>| {
+                        prologue!(vm, v, addr);
+                        let ty = vm.store_slot_type(&op, v);
+                        tri!(vm.store_typed(addr, ty, v));
+                        Control::Next
+                    }),
+                }
+            })
+        }
+        Inst::FieldAddr { result, base, struct_id, field } => {
+            let result = *result;
+            let base = cx.resolve(base);
+            let (struct_id, field) = (*struct_id, *field);
+            let in_range = (struct_id.0 as usize) < cx.m.types.struct_count()
+                && field < cx.m.types.struct_def(struct_id).fields.len();
+            let off = in_range.then(|| cx.tl.field_offset(struct_id, field));
+            match off {
+                Some(off) => dispatch1!(base, |bs| {
+                    Box::new(move |vm: &mut Vm<'_>| {
+                        let b = tri!(vm.as_ptr(tri!(bs.get(vm))));
+                        vm.set(result, RtVal::P(b.wrapping_add(off)));
+                        Control::Next
+                    })
+                }),
+                // Malformed image: the interpreter's lazy lookup, panic
+                // included.
+                None => Box::new(move |vm| {
+                    let b = tri!(base.read_ptr(vm));
+                    let off = vm.tl.field_offset(struct_id, field);
+                    vm.set(result, RtVal::P(b.wrapping_add(off)));
+                    Control::Next
+                }),
+            }
+        }
+        Inst::IndexAddr { result, base, index, elem_ty } => {
+            let result = *result;
+            let base = cx.resolve(base);
+            let index = cx.resolve(index);
+            let elem_ty = *elem_ty;
+            let sz = cx.ty_ok(elem_ty).then(|| cx.tl.size_of(elem_ty).max(1) as i64);
+            match sz {
+                Some(sz) => dispatch2!(base, index, |bs, is| {
+                    Box::new(move |vm: &mut Vm<'_>| {
+                        let b = tri!(vm.as_ptr(tri!(bs.get(vm))));
+                        let i = match tri!(is.get(vm)) {
+                            RtVal::I(i) => i,
+                            RtVal::P(p) => p as i64,
+                            RtVal::F(_) => {
+                                return Control::Trap(Box::new(Trap::BadProgram(
+                                    "float index".into(),
+                                )))
+                            }
+                        };
+                        vm.set(result, RtVal::P(b.wrapping_add(i.wrapping_mul(sz) as u64)));
+                        Control::Next
+                    })
+                }),
+                None => Box::new(move |vm| {
+                    let b = tri!(base.read_ptr(vm));
+                    let i = match tri!(index.read(vm)) {
+                        RtVal::I(i) => i,
+                        RtVal::P(p) => p as i64,
+                        RtVal::F(_) => {
+                            return Control::Trap(Box::new(Trap::BadProgram("float index".into())))
+                        }
+                    };
+                    let sz = vm.tl.size_of(elem_ty).max(1) as i64;
+                    vm.set(result, RtVal::P(b.wrapping_add(i.wrapping_mul(sz) as u64)));
+                    Control::Next
+                }),
+            }
+        }
+        Inst::BitCast { result, value, .. } => {
+            let result = *result;
+            let value = cx.resolve(value);
+            dispatch1!(value, |vs| {
+                Box::new(move |vm: &mut Vm<'_>| {
+                    let v = tri!(vs.get(vm));
+                    vm.set(result, v);
+                    Control::Next
+                })
+            })
+        }
+        Inst::Convert { result, value, to } => {
+            let result = *result;
+            let value = cx.resolve(value);
+            let to = *to;
+            // (to_f64, wrap target), or defer the lookup for a malformed id.
+            let kind = cx
+                .ty_ok(to)
+                .then(|| (matches!(cx.m.types.get(to), Type::F64), cx.wrap_kind(to)));
+            match kind {
+                Some((to_f64, wk)) => dispatch1!(value, |vs| {
+                    Box::new(move |vm: &mut Vm<'_>| {
+                        let v = tri!(vs.get(vm));
+                        let out = match (v, to_f64) {
+                            (RtVal::I(i), true) => RtVal::F(i as f64),
+                            (RtVal::F(fv), true) => RtVal::F(fv),
+                            (RtVal::F(fv), false) => RtVal::I(wk.apply(fv as i64)),
+                            (RtVal::I(i), false) => RtVal::I(wk.apply(i)),
+                            (RtVal::P(p), _) => RtVal::I(wk.apply(p as i64)),
+                        };
+                        vm.set(result, out);
+                        Control::Next
+                    })
+                }),
+                // Malformed image: the interpreter's lazy table lookup,
+                // panic included.
+                None => Box::new(move |vm| {
+                    let v = tri!(value.read(vm));
+                    let out = match (v, vm.img.module.types.get(to)) {
+                        (RtVal::I(i), Type::F64) => RtVal::F(i as f64),
+                        (RtVal::F(fv), Type::F64) => RtVal::F(fv),
+                        (RtVal::F(fv), _) => RtVal::I(wrap_int(&vm.img.module, to, fv as i64)),
+                        (RtVal::I(i), _) => RtVal::I(wrap_int(&vm.img.module, to, i)),
+                        (RtVal::P(p), _) => RtVal::I(wrap_int(&vm.img.module, to, p as i64)),
+                    };
+                    vm.set(result, out);
+                    Control::Next
+                }),
+            }
+        }
+        Inst::Bin { result, op, lhs, rhs, ty } => {
+            let (result, op, ty) = (*result, *op, *ty);
+            let lhs = cx.resolve(lhs);
+            let rhs = cx.resolve(rhs);
+            // Malformed `ty`, float ops, and bitwise-on-float defer to the
+            // interpreter's `binop`, which owns the trap order (lhs
+            // coercion errors before rhs, both before "bitwise op on
+            // float") and the out-of-range-id panic.
+            if !cx.ty_ok(ty) {
+                return Box::new(move |vm| {
+                    let a = tri!(lhs.read(vm));
+                    let b = tri!(rhs.read(vm));
+                    let out = tri!(vm.binop(op, a, b, ty));
+                    vm.set(result, out);
+                    Control::Next
+                });
+            }
+            if matches!(cx.m.types.get(ty), Type::F64) {
+                return dispatch2!(lhs, rhs, |a, b| {
+                    macro_rules! fbin {
+                        ($f:expr) => {
+                            Box::new(move |vm: &mut Vm<'_>| {
+                                let fa = tri!(float_of(tri!(a.get(vm))));
+                                let fb = tri!(float_of(tri!(b.get(vm))));
+                                let f: fn(f64, f64) -> f64 = $f;
+                                vm.set(result, RtVal::F(f(fa, fb)));
+                                Control::Next
+                            })
+                        };
+                    }
+                    match op {
+                        BinOp::Add => fbin!(|x, y| x + y),
+                        BinOp::Sub => fbin!(|x, y| x - y),
+                        BinOp::Mul => fbin!(|x, y| x * y),
+                        BinOp::Div => fbin!(|x, y| x / y),
+                        BinOp::Rem => fbin!(|x, y| x % y),
+                        _ => Box::new(move |vm: &mut Vm<'_>| {
+                            let av = tri!(a.get(vm));
+                            let bv = tri!(b.get(vm));
+                            let out = tri!(vm.binop(op, av, bv, ty));
+                            vm.set(result, out);
+                            Control::Next
+                        }),
+                    }
+                });
+            }
+            let wk = cx.wrap_kind(ty);
+            dispatch2!(lhs, rhs, |a, b| {
+                macro_rules! ibin {
+                    ($f:expr) => {
+                        Box::new(move |vm: &mut Vm<'_>| {
+                            let ia = int_of(tri!(a.get(vm)));
+                            let ib = int_of(tri!(b.get(vm)));
+                            let f: fn(i64, i64) -> i64 = $f;
+                            vm.set(result, RtVal::I(wk.apply(f(ia, ib))));
+                            Control::Next
+                        })
+                    };
+                }
+                macro_rules! idiv {
+                    ($f:expr) => {
+                        Box::new(move |vm: &mut Vm<'_>| {
+                            let ia = int_of(tri!(a.get(vm)));
+                            let ib = int_of(tri!(b.get(vm)));
+                            if ib == 0 {
+                                return Control::Trap(Box::new(Trap::DivByZero {
+                                    func: vm.cur_func_name(),
+                                }));
+                            }
+                            let f: fn(i64, i64) -> i64 = $f;
+                            vm.set(result, RtVal::I(wk.apply(f(ia, ib))));
+                            Control::Next
+                        })
+                    };
+                }
+                match op {
+                    BinOp::Add => ibin!(|x, y| x.wrapping_add(y)),
+                    BinOp::Sub => ibin!(|x, y| x.wrapping_sub(y)),
+                    BinOp::Mul => ibin!(|x, y| x.wrapping_mul(y)),
+                    BinOp::Div => idiv!(|x, y| x.wrapping_div(y)),
+                    BinOp::Rem => idiv!(|x, y| x.wrapping_rem(y)),
+                    BinOp::And => ibin!(|x, y| x & y),
+                    BinOp::Or => ibin!(|x, y| x | y),
+                    BinOp::Xor => ibin!(|x, y| x ^ y),
+                    BinOp::Shl => ibin!(|x, y| x.wrapping_shl(y as u32 & 63)),
+                    BinOp::Shr => ibin!(|x, y| x.wrapping_shr(y as u32 & 63)),
+                }
+            })
+        }
+        Inst::Cmp { result, op, lhs, rhs } => {
+            let (result, op) = (*result, *op);
+            let lhs = cx.resolve(lhs);
+            let rhs = cx.resolve(rhs);
+            // One closure per comparison op over the shared `ord_vals`,
+            // so the op match disappears from the hot path.
+            dispatch2!(lhs, rhs, |a, b| {
+                macro_rules! cbin {
+                    ($t:expr) => {
+                        Box::new(move |vm: &mut Vm<'_>| {
+                            let av = tri!(a.get(vm));
+                            let bv = tri!(b.get(vm));
+                            let t: fn(Ordering) -> bool = $t;
+                            vm.set(result, RtVal::I(t(ord_vals(av, bv)) as i64));
+                            Control::Next
+                        })
+                    };
+                }
+                match op {
+                    CmpOp::Eq => cbin!(|o| o == Ordering::Equal),
+                    CmpOp::Ne => cbin!(|o| o != Ordering::Equal),
+                    CmpOp::Lt => cbin!(|o| o == Ordering::Less),
+                    CmpOp::Le => cbin!(|o| o != Ordering::Greater),
+                    CmpOp::Gt => cbin!(|o| o == Ordering::Greater),
+                    CmpOp::Ge => cbin!(|o| o != Ordering::Less),
+                }
+            })
+        }
+        Inst::Call { result, callee, args } => {
+            let result = *result;
+            let args: Vec<Slot> = args.iter().map(|a| cx.resolve(a)).collect();
+            let kind = match cx.m.funcs.get(callee.0 as usize) {
+                None => Callee::Missing(callee.0 as usize),
+                Some(cf) if cf.is_external => {
+                    Callee::External { name: cf.name.clone(), ret: cf.sig.ret }
+                }
+                Some(_) => Callee::Internal(*callee),
+            };
+            Box::new(move |vm| {
+                let mut argv = std::mem::take(&mut vm.call_args);
+                argv.clear();
+                for a in &args {
+                    match a.read(vm) {
+                        Ok(v) => argv.push(v),
+                        Err(e) => {
+                            vm.call_args = argv;
+                            return Control::Trap(Box::new(e));
+                        }
+                    }
+                }
+                let r = match &kind {
+                    Callee::Missing(i) => Control::Trap(Box::new(oob("function", *i))),
+                    Callee::External { name, ret } => {
+                        let v = vm.external_call(name, &argv, *ret);
+                        if let (Some(rr), Some(v)) = (result, v) {
+                            vm.set(rr, v);
+                        }
+                        Control::Next
+                    }
+                    Callee::Internal(fid) => {
+                        // The caller resumes after this instruction.
+                        commit_pos(vm, bi, next_idx);
+                        match vm.push_frame(*fid, &argv, result) {
+                            Ok(()) => Control::Transfer,
+                            Err(t) => Control::Trap(Box::new(t)),
+                        }
+                    }
+                };
+                vm.call_args = argv;
+                r
+            })
+        }
+        Inst::CallIndirect { result, callee, args, sig } => {
+            let result = *result;
+            let callee = cx.resolve(callee);
+            let args: Vec<Slot> = args.iter().map(|a| cx.resolve(a)).collect();
+            let ret = sig.ret;
+            Box::new(move |vm| {
+                let p = tri!(callee.read_ptr(vm));
+                if !vm.img.va.is_canonical(p) {
+                    return Control::Trap(Box::new(Trap::NonCanonicalCall {
+                        func: vm.cur_func_name(),
+                        ptr: p,
+                    }));
+                }
+                let target = vm.img.va.canonical(p);
+                let Some((fid, external)) = resolve_code_addr(&vm.img.module, target) else {
+                    return Control::Trap(Box::new(Trap::CallNonFunction {
+                        func: vm.cur_func_name(),
+                        target,
+                    }));
+                };
+                let mut argv = std::mem::take(&mut vm.call_args);
+                argv.clear();
+                for a in &args {
+                    match a.read(vm) {
+                        Ok(v) => argv.push(v),
+                        Err(e) => {
+                            vm.call_args = argv;
+                            return Control::Trap(Box::new(e));
+                        }
+                    }
+                }
+                let r = if external {
+                    let name = vm.img.module.funcs[fid.0 as usize].name.clone();
+                    let v = vm.external_call(&name, &argv, ret);
+                    if let (Some(rr), Some(v)) = (result, v) {
+                        vm.set(rr, v);
+                    }
+                    Control::Next
+                } else {
+                    commit_pos(vm, bi, next_idx);
+                    match vm.push_frame(fid, &argv, result) {
+                        Ok(()) => Control::Transfer,
+                        Err(t) => Control::Trap(Box::new(t)),
+                    }
+                };
+                vm.call_args = argv;
+                r
+            })
+        }
+        Inst::Malloc { result, size, .. } => {
+            let result = *result;
+            let size = cx.resolve(size);
+            Box::new(move |vm| {
+                let sz = match tri!(size.read(vm)) {
+                    RtVal::I(i) => i.max(0) as u64,
+                    RtVal::P(p) => p,
+                    RtVal::F(_) => {
+                        return Control::Trap(Box::new(Trap::BadProgram(
+                            "float malloc size".into(),
+                        )))
+                    }
+                };
+                let addr = tri!(vm.alloc.malloc(sz).ok_or(Trap::HeapExhausted));
+                vm.set(result, RtVal::P(addr));
+                Control::Next
+            })
+        }
+        Inst::Free { ptr } => {
+            let ptr = cx.resolve(ptr);
+            Box::new(move |vm| {
+                let p = tri!(ptr.read_ptr(vm));
+                let a = vm.img.va.canonical(p);
+                if a != 0 && !vm.alloc.free(a) {
+                    vm.events.push(ExtEvent {
+                        name: "invalid_free".into(),
+                        args: vec![format!("{a:#x}")],
+                        critical: false,
+                    });
+                }
+                Control::Next
+            })
+        }
+        Inst::PrintInt { value } => {
+            let value = cx.resolve(value);
+            Box::new(move |vm| {
+                let v = tri!(value.read(vm));
+                vm.output.push(v.to_string());
+                Control::Next
+            })
+        }
+        Inst::PrintStr { s } => {
+            let text = cx.m.strings.get(s.0 as usize).cloned();
+            let idx = s.0 as usize;
+            Box::new(move |vm| {
+                let Some(text) = &text else {
+                    return Control::Trap(Box::new(oob("string", idx)));
+                };
+                vm.output.push(text.clone());
+                Control::Next
+            })
+        }
+        Inst::PacSign { result, value, key, modifier, loc, site } => {
+            let result = *result;
+            let value = cx.resolve(value);
+            let key = key_id(*key);
+            let modifier = *modifier;
+            let loc = loc.as_ref().map(|l| cx.resolve(l));
+            let si = site_index(*site);
+            Box::new(move |vm| {
+                vm.site_counts[si] += 1;
+                let p = tri!(value.read_ptr(vm));
+                let modifier = match &loc {
+                    None => modifier,
+                    Some(l) => modifier ^ vm.img.va.canonical(tri!(l.read_ptr(vm))),
+                };
+                if !mac {
+                    let signed = vm.pac.sign(key, p, modifier);
+                    vm.set(result, RtVal::P(signed));
+                } else {
+                    vm.pac.sign_count += 1;
+                    let macv = vm.pac.compute_pac(key, p, modifier);
+                    vm.pending_mac = Some(macv);
+                    vm.set(result, RtVal::P(p));
+                }
+                Control::Next
+            })
+        }
+        Inst::PacAuth { result, value, key, modifier, loc, site } => {
+            let result = *result;
+            let value = cx.resolve(value);
+            let key = key_id(*key);
+            let modifier = *modifier;
+            let loc = loc.as_ref().map(|l| cx.resolve(l));
+            let site = *site;
+            let si = site_index(site);
+            Box::new(move |vm| {
+                vm.site_counts[si] += 1;
+                let p = tri!(value.read_ptr(vm));
+                let modifier = match &loc {
+                    None => modifier,
+                    Some(l) => modifier ^ vm.img.va.canonical(tri!(l.read_ptr(vm))),
+                };
+                if !mac {
+                    match vm.pac.auth(key, p, modifier) {
+                        Ok(clean) => {
+                            vm.set(result, RtVal::P(clean));
+                            Control::Next
+                        }
+                        Err(e) => {
+                            commit_pos(vm, bi, next_idx);
+                            Control::Trap(Box::new(vm.pac_auth_fail(
+                                "pac_auth",
+                                site,
+                                modifier,
+                                e.found_pac,
+                                e.expected_pac,
+                            )))
+                        }
+                    }
+                } else {
+                    vm.pac.auth_count += 1;
+                    let expected = vm.pac.compute_pac(key, p, modifier);
+                    if let Some(macv) = vm.pending_mac.take() {
+                        if macv == expected {
+                            vm.set(result, RtVal::P(p));
+                            return Control::Next;
+                        }
+                    } else if let Some(slot) = vm.last_ptr_load {
+                        if vm.mac_table.get(&slot) == Some(&expected) {
+                            vm.set(result, RtVal::P(p));
+                            return Control::Next;
+                        }
+                    }
+                    vm.pac.fail_count += 1;
+                    commit_pos(vm, bi, next_idx);
+                    Control::Trap(Box::new(vm.mac_stale_fail("pac_auth", site, modifier, expected)))
+                }
+            })
+        }
+        Inst::PacStrip { result, value } => {
+            let result = *result;
+            let value = cx.resolve(value);
+            let si = site_index(PacSite::ExternalStrip);
+            Box::new(move |vm| {
+                vm.site_counts[si] += 1;
+                let p = tri!(value.read_ptr(vm));
+                let stripped = vm.pac.strip(p);
+                vm.set(result, RtVal::P(stripped));
+                Control::Next
+            })
+        }
+        Inst::PpAdd { ce, fe_modifier } => {
+            let (ce, fe) = (*ce, *fe_modifier);
+            Box::new(move |vm| match vm.pp_table.get(&ce) {
+                Some(&had) if had != fe => {
+                    commit_pos(vm, bi, next_idx);
+                    Control::Trap(Box::new(vm.pp_fail(
+                        "pp_add",
+                        fe,
+                        PpFail::Conflict { ce: ce as u64, had },
+                    )))
+                }
+                _ => {
+                    vm.pp_table.insert(ce, fe);
+                    Control::Next
+                }
+            })
+        }
+        Inst::PpSign { result, value, ce, key } => {
+            let result = *result;
+            let value = cx.resolve(value);
+            let ce = *ce;
+            let key = key_id(*key);
+            Box::new(move |vm| {
+                let p = tri!(value.read_ptr(vm));
+                let fe = match vm.pp_table.get(&ce) {
+                    Some(&fe) => fe,
+                    None => {
+                        commit_pos(vm, bi, next_idx);
+                        return Control::Trap(Box::new(vm.pp_fail(
+                            "pp_sign",
+                            ce as u64,
+                            PpFail::NotRegistered { ce: ce as u64 },
+                        )));
+                    }
+                };
+                if !mac {
+                    let signed = vm.pac.sign(key, p, fe);
+                    vm.set(result, RtVal::P(signed));
+                } else {
+                    vm.pac.sign_count += 1;
+                    vm.pending_mac = Some(vm.pac.compute_pac(key, p, fe));
+                    vm.set(result, RtVal::P(p));
+                }
+                Control::Next
+            })
+        }
+        Inst::PpAddTbi { result, value, ce } => {
+            let result = *result;
+            let value = cx.resolve(value);
+            let ce = *ce;
+            Box::new(move |vm| {
+                let p = tri!(value.read_ptr(vm));
+                let tagged = vm.img.va.with_tbi_tag(p, ce);
+                vm.set(result, RtVal::P(tagged));
+                Control::Next
+            })
+        }
+        Inst::PpAuth { result, value, key } => {
+            let result = *result;
+            let value = cx.resolve(value);
+            let key = key_id(*key);
+            Box::new(move |vm| {
+                let p = tri!(value.read_ptr(vm));
+                let ce = vm.img.va.tbi_tag(p);
+                if ce == 0 {
+                    commit_pos(vm, bi, next_idx);
+                    return Control::Trap(Box::new(vm.pp_fail("pp_auth", 0, PpFail::MissingTag)));
+                }
+                let fe = match vm.pp_table.get(&ce) {
+                    Some(&fe) => fe,
+                    None => {
+                        commit_pos(vm, bi, next_idx);
+                        return Control::Trap(Box::new(vm.pp_fail(
+                            "pp_auth",
+                            ce as u64,
+                            PpFail::NotInStore { ce: ce as u64 },
+                        )));
+                    }
+                };
+                let untagged = vm.img.va.clear_tbi(p);
+                if !mac {
+                    match vm.pac.auth(key, untagged, fe) {
+                        Ok(clean) => {
+                            vm.set(result, RtVal::P(clean));
+                            Control::Next
+                        }
+                        Err(e) => {
+                            commit_pos(vm, bi, next_idx);
+                            Control::Trap(Box::new(vm.pac_auth_fail(
+                                "pp_auth",
+                                PacSite::OnLoad,
+                                fe,
+                                e.found_pac,
+                                e.expected_pac,
+                            )))
+                        }
+                    }
+                } else {
+                    vm.pac.auth_count += 1;
+                    let expected = vm.pac.compute_pac(key, untagged, fe);
+                    let ok = match (vm.pending_mac.take(), vm.last_ptr_load) {
+                        (Some(macv), _) => macv == expected,
+                        (None, Some(slot)) => vm.mac_table.get(&slot) == Some(&expected),
+                        _ => false,
+                    };
+                    if ok {
+                        vm.set(result, RtVal::P(untagged));
+                        Control::Next
+                    } else {
+                        vm.pac.fail_count += 1;
+                        commit_pos(vm, bi, next_idx);
+                        Control::Trap(Box::new(vm.mac_stale_fail(
+                            "pp_auth",
+                            PacSite::OnLoad,
+                            fe,
+                            expected,
+                        )))
+                    }
+                }
+            })
+        }
+    }
+}
+
+impl<'img> Vm<'img> {
+    /// The compiled-engine driver: the counterpart of `run_internal`,
+    /// with identical watchpoint-pause semantics.
+    pub(crate) fn run_compiled(&mut self, watch: Option<FuncId>) {
+        let code = self.img.compiled();
+        let _span = rsti_telemetry::global().span(Phase::VmRun);
+        let mut skip_check = std::mem::take(&mut self.paused);
+        let Some(w) = watch else {
+            // No watchpoint (the measurement path): direct-threaded
+            // block execution with no per-block entry check.
+            while self.status.is_none() {
+                if let Err(t) = self.exec_compiled(&code, false) {
+                    self.status = Some(Status::Trapped(t));
+                }
+            }
+            self.flush_telemetry();
+            return;
+        };
+        while self.status.is_none() {
+            if !skip_check {
+                if let Some(fr) = self.frames.last() {
+                    if fr.func == w && fr.block == 0 && fr.idx == 0 {
+                        self.paused = true;
+                        return; // paused at function entry
+                    }
+                }
+            }
+            skip_check = false;
+            // One block per dispatch: the pause check above must see
+            // every block entry, exactly like the interpreter's
+            // step-per-dispatch loop.
+            if let Err(t) = self.exec_compiled(&code, true) {
+                self.status = Some(Status::Trapped(t));
+            }
+        }
+        self.flush_telemetry();
+    }
+
+    /// Executes compiled blocks from the current frame position until
+    /// control leaves the frame (call push, return, exit) or — with
+    /// `single_block` — the first block transfer.
+    fn exec_compiled(&mut self, code: &CompiledModule, single_block: bool) -> Result<(), Trap> {
+        let depth = self.frames.len();
+        let fr = self.frames.last().expect("active frame");
+        let mut func = fr.func.0 as usize;
+        let mut block = fr.block;
+        let mut idx = fr.idx;
+        // The block table changes only when the frame does (the `Slow`
+        // arm), so resolve it per function, not per block.
+        let mut fblocks = &code.funcs[func].blocks;
+        let branch_cost = self.img.cost.branch;
+        // Loop-invariant driver state lives in registers: telemetry
+        // tracing cannot toggle mid-run, and the fuel headroom only needs
+        // re-deriving after a slow path charges per op.
+        let trace = self.trace_enabled;
+        let mut budget = self.fuel.saturating_sub(self.insts);
+        loop {
+            let Some(cb) = fblocks.get(block) else {
+                let name = &self.img.module.funcs[func].name;
+                return Err(missing_block(block, name));
+            };
+            let n = cb.ops.len();
+            let remaining = (n - idx) as u64 + 1;
+            if !trace && remaining <= budget {
+                // Fast path: charge the whole straight-line run *and the
+                // terminator* up front (cycle prefix sums), roll back the
+                // unexecuted suffix on any early exit. Totals match per-op
+                // charging exactly: the entry condition guarantees the
+                // interpreter's per-transfer fuel check could not have
+                // fired anywhere in this block either.
+                budget -= remaining;
+                self.insts += remaining;
+                // `idx == 0` on every transfer except a call resume: the
+                // whole-block cost sits in the block header, sparing the
+                // prefix-sum indexing on the common path.
+                self.cycles += branch_cost
+                    + if idx == 0 {
+                        cb.total_cost
+                    } else {
+                        cb.cost_prefix[n] - cb.cost_prefix[idx]
+                    };
+                let mut j = idx;
+                for op in &cb.ops[idx..] {
+                    match op(self) {
+                        Control::Next => j += 1,
+                        Control::Transfer => {
+                            self.rollback_suffix(cb, j, n, branch_cost);
+                            return Ok(());
+                        }
+                        Control::Trap(t) => {
+                            self.rollback_suffix(cb, j, n, branch_cost);
+                            return Err(*t);
+                        }
+                    }
+                }
+            } else {
+                if !self.exec_block_slow(cb, idx)? {
+                    return Ok(());
+                }
+                budget = self.fuel.saturating_sub(self.insts);
+            }
+            match &cb.term {
+                CompiledTerm::Br(bb) => block = *bb as usize,
+                CompiledTerm::CondBrReg { v, then_bb, else_bb } => {
+                    let Some(&(tag, val)) = self.regs.get(self.reg_base + v.0 as usize) else {
+                        return Err(oob("register", v.0 as usize));
+                    };
+                    if tag != self.cur_gen {
+                        return Err(undefined_use(*v));
+                    }
+                    let taken = match val {
+                        RtVal::I(v) => v != 0,
+                        RtVal::P(p) => p != 0,
+                        RtVal::F(f) => f != 0.0,
+                    };
+                    block = if taken { *then_bb } else { *else_bb } as usize;
+                }
+                CompiledTerm::CondBr { cond, then_bb, else_bb } => {
+                    let taken = match cond.read(self)? {
+                        RtVal::I(v) => v != 0,
+                        RtVal::P(p) => p != 0,
+                        RtVal::F(f) => f != 0.0,
+                    };
+                    block = if taken { *then_bb } else { *else_bb } as usize;
+                }
+                CompiledTerm::Slow(t) => {
+                    // `exec_term` (and any trap it builds) observes the
+                    // frame at this block's entry position — the state the
+                    // interpreter would have committed.
+                    let fr = self.frames.last_mut().expect("active frame");
+                    fr.block = block;
+                    fr.idx = idx;
+                    self.exec_term(t)?;
+                    if self.frames.len() != depth || self.status.is_some() {
+                        return Ok(());
+                    }
+                    // Same depth with the run still live: the corrupted-
+                    // return path swapped this frame for a "gadget"
+                    // frame. Re-read the position and continue there.
+                    let fr = self.frames.last().expect("active frame");
+                    func = fr.func.0 as usize;
+                    block = fr.block;
+                    idx = fr.idx;
+                    fblocks = &code.funcs[func].blocks;
+                    if single_block {
+                        return Ok(());
+                    }
+                    budget = self.fuel.saturating_sub(self.insts);
+                    continue;
+                }
+            }
+            // Straight-line transfers track the position in locals only.
+            // The frame is written exactly where it is observed: by
+            // committing closures (calls, audit traps), before a `Slow`
+            // terminator, and — here — when watch mode must see every
+            // block entry.
+            idx = 0;
+            if single_block {
+                let fr = self.frames.last_mut().expect("active frame");
+                fr.block = block;
+                fr.idx = 0;
+                return Ok(());
+            }
+        }
+    }
+
+    /// Reverses the fast path's pre-charge for ops `j+1..n` and the
+    /// terminator, which did not execute because op `j` trapped or
+    /// transferred control. (A transferring call re-charges the suffix —
+    /// terminator included — when the frame resumes at `j+1`.)
+    #[inline]
+    fn rollback_suffix(&mut self, cb: &CompiledBlock, j: usize, n: usize, branch_cost: u64) {
+        self.insts -= (n - (j + 1)) as u64 + 1;
+        self.cycles -= cb.cost_prefix[n] - cb.cost_prefix[j + 1] + branch_cost;
+    }
+
+    /// Slow-path block body: telemetry is counting opcode classes, or the
+    /// fuel budget may expire mid-block — charge per op like the
+    /// interpreter, terminator included. Outlined so the measurement path
+    /// keeps only the pre-charge loop in its instruction stream. Returns
+    /// `true` when the block ran to its terminator, `false` when an op
+    /// transferred control out of the frame.
+    #[cold]
+    #[inline(never)]
+    fn exec_block_slow(&mut self, cb: &CompiledBlock, idx: usize) -> Result<bool, Trap> {
+        for (op, charge) in cb.ops[idx..].iter().zip(&cb.charge[idx..]) {
+            if self.insts >= self.fuel {
+                return Err(Trap::FuelExhausted);
+            }
+            self.insts += 1;
+            if self.trace_enabled {
+                self.opclass[charge.class] += 1;
+            }
+            self.cycles += charge.cost;
+            match op(self) {
+                Control::Next => {}
+                Control::Transfer => return Ok(false),
+                Control::Trap(t) => return Err(*t),
+            }
+        }
+        // Block exit: both engines fund the terminator through the same
+        // charge site.
+        self.charge_block_transfer()?;
+        Ok(true)
+    }
+}

@@ -97,15 +97,63 @@ impl fmt::Display for MemFault {
 
 struct Segment {
     base: u64,
+    /// Addressable extent in bytes. `data` covers a prefix of it and is
+    /// grown on first write; bytes in `data.len()..size` are logically
+    /// zero. A fresh VM therefore never pays a memset of the full arena —
+    /// the dominant construction cost for short runs and fuzz campaigns,
+    /// which build thousands of VMs over mostly-untouched segments.
+    size: usize,
     data: Vec<u8>,
     writable: bool,
     /// Whether the attacker's arbitrary-write primitive may target it.
     attacker: bool,
 }
 
+impl Segment {
+    /// Materializes `data` up to at least `end` bytes (amortized doubling,
+    /// capped at the segment extent). Returns `false` when `end` is
+    /// outside the segment.
+    #[cold]
+    fn grow_to(&mut self, end: usize) -> bool {
+        if end > self.size {
+            return false;
+        }
+        let new_len = end.max(self.data.len() * 2).min(self.size);
+        self.data.resize(new_len, 0);
+        true
+    }
+}
+
 /// The process memory.
 pub struct Memory {
     segments: Vec<Segment>,
+}
+
+/// In-segment offsets: every data segment's base is exactly its VA tag
+/// shifted into place (`tag << 40`, asserted below), so the offset of an
+/// address within its segment is a mask — no base load, no subtraction.
+const OFF_MASK: u64 = (1 << 40) - 1;
+
+// The dispatch in `seg_idx` and the mask above hard-code the segment
+// bases; fail the build if the layout ever moves.
+const _: () = {
+    assert!(layout::GLOBAL_BASE == 0x20 << 40);
+    assert!(layout::STR_BASE == 0x30 << 40);
+    assert!(layout::HEAP_BASE == 0x40 << 40);
+    assert!(layout::STACK_BASE == 0x7F << 40);
+};
+
+/// Segment index for an address's VA tag, ignoring the segment's actual
+/// extent (callers probing `data` or `size` handle out-of-extent).
+#[inline(always)]
+fn seg_idx(addr: u64) -> Option<usize> {
+    match addr >> 40 {
+        0x20 => Some(0), // GLOBAL_BASE
+        0x30 => Some(1), // STR_BASE
+        0x40 => Some(2), // HEAP_BASE
+        0x7F => Some(3), // STACK_BASE
+        _ => None,
+    }
 }
 
 impl Memory {
@@ -128,7 +176,7 @@ impl Memory {
             if size > MAX_SEGMENT {
                 return Err(MemFault::SegmentTooLarge { base, size });
             }
-            Ok(Segment { base, data: vec![0u8; size as usize], writable, attacker })
+            Ok(Segment { base, size: size as usize, data: Vec::new(), writable, attacker })
         };
         Ok(Memory {
             segments: vec![
@@ -146,22 +194,17 @@ impl Memory {
     /// every load/store the interpreter executes.
     #[inline]
     fn seg_of(&self, addr: u64) -> Option<usize> {
-        let si = match addr >> 40 {
-            0x20 => 0, // GLOBAL_BASE
-            0x30 => 1, // STR_BASE
-            0x40 => 2, // HEAP_BASE
-            0x7F => 3, // STACK_BASE
-            _ => return None,
-        };
+        let si = seg_idx(addr)?;
         let s = &self.segments[si];
-        (addr >= s.base && addr < s.base + s.data.len() as u64).then_some(si)
+        (addr >= s.base && addr < s.base + s.size as u64).then_some(si)
     }
 
-    /// Reads `len` bytes at `addr`.
+    /// Reads `len` bytes at `addr`. Bytes past the materialized prefix of
+    /// the segment read as zero (they have never been written).
     ///
     /// # Errors
     /// Faults when the range is unmapped.
-    pub fn read(&self, addr: u64, len: u64) -> Result<&[u8], MemFault> {
+    pub fn read(&self, addr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
         let si = self.seg_of(addr).ok_or(MemFault::Unmapped { addr })?;
         let s = &self.segments[si];
         // checked_sub, not `-`: the offset must never be computed before
@@ -170,16 +213,20 @@ impl Memory {
         // huge offset in release.
         let off = addr.checked_sub(s.base).ok_or(MemFault::OutOfRange { addr, len })? as usize;
         let end = off.checked_add(len as usize).ok_or(MemFault::OutOfRange { addr, len })?;
-        if end > s.data.len() {
+        if end > s.size {
             return Err(MemFault::OutOfRange { addr, len });
         }
-        Ok(&s.data[off..end])
+        let mut out = vec![0u8; len as usize];
+        let avail = s.data.len().saturating_sub(off).min(len as usize);
+        out[..avail].copy_from_slice(&s.data[off..off + avail]);
+        Ok(out)
     }
 
     /// Writes bytes at `addr`, honouring segment permissions.
     ///
     /// # Errors
     /// Faults when the range is unmapped or read-only.
+    #[inline]
     pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
         let si = self.seg_of(addr).ok_or(MemFault::Unmapped { addr })?;
         let s = &mut self.segments[si];
@@ -191,7 +238,7 @@ impl Memory {
         let end = off
             .checked_add(bytes.len())
             .ok_or(MemFault::OutOfRange { addr, len })?;
-        if end > s.data.len() {
+        if end > s.data.len() && !s.grow_to(end) {
             return Err(MemFault::OutOfRange { addr, len });
         }
         s.data[off..end].copy_from_slice(bytes);
@@ -199,7 +246,9 @@ impl Memory {
     }
 
     /// Zero-fills `len` bytes at `addr` in place (no temporary buffer) —
-    /// used by the interpreter to clear fresh stack slots.
+    /// used by the interpreter to clear fresh stack slots. Bytes past the
+    /// materialized prefix are already zero, so the fill never grows the
+    /// segment.
     ///
     /// # Errors
     /// Faults when the range is unmapped or read-only.
@@ -211,10 +260,13 @@ impl Memory {
         }
         let off = addr.checked_sub(s.base).ok_or(MemFault::OutOfRange { addr, len })? as usize;
         let end = off.checked_add(len as usize).ok_or(MemFault::OutOfRange { addr, len })?;
-        if end > s.data.len() {
+        if end > s.size {
             return Err(MemFault::OutOfRange { addr, len });
         }
-        s.data[off..end].fill(0);
+        let mat = s.data.len();
+        if off < mat {
+            s.data[off..end.min(mat)].fill(0);
+        }
         Ok(())
     }
 
@@ -236,22 +288,121 @@ impl Memory {
         let end = off
             .checked_add(bytes.len())
             .ok_or(MemFault::OutOfRange { addr, len })?;
-        if end > s.data.len() {
+        if end > s.data.len() && !s.grow_to(end) {
             return Err(MemFault::OutOfRange { addr, len });
         }
         s.data[off..end].copy_from_slice(bytes);
         Ok(())
     }
 
+    /// Reads a fixed-width scalar. The compile-time length lets the range
+    /// check fold to one comparison and the copy to a single move — this
+    /// sits under every typed load in both execution engines. The
+    /// materialized prefix covers all written memory, so the fast path
+    /// misses only on never-written (zero) addresses or genuine faults.
+    ///
+    /// # Errors
+    /// Faults when the range is unmapped.
+    #[inline(always)]
+    pub fn read_arr<const N: usize>(&self, addr: u64) -> Result<[u8; N], MemFault> {
+        let Some(si) = seg_idx(addr) else { return Err(MemFault::Unmapped { addr }) };
+        // Segment bases are `tag << 40`, so the offset is a mask and the
+        // slice probe subsumes the range check; out-of-extent offsets miss
+        // the materialized prefix and sort out their fault in the tail.
+        let off = (addr & OFF_MASK) as usize;
+        match self.segments[si].data.get(off..off + N) {
+            Some(b) => Ok(b.try_into().expect("length checked")),
+            None => self.read_arr_slow::<N>(si, off, addr),
+        }
+    }
+
+    /// Out-of-prefix tail of [`Memory::read_arr`]: reads that touch the
+    /// never-materialized (all-zero) region, or genuinely cross the
+    /// segment end.
+    #[cold]
+    #[inline(never)]
+    fn read_arr_slow<const N: usize>(
+        &self,
+        si: usize,
+        off: usize,
+        addr: u64,
+    ) -> Result<[u8; N], MemFault> {
+        let s = &self.segments[si];
+        // Entirely past the segment extent is unmapped address space (the
+        // tag region is 1 TiB; the segment covers a prefix of it); merely
+        // crossing the extent is a ranged access fault.
+        if off >= s.size {
+            return Err(MemFault::Unmapped { addr });
+        }
+        // `off < s.size <= MAX_SEGMENT` and N <= 8: no overflow.
+        if off + N > s.size {
+            return Err(MemFault::OutOfRange { addr, len: N as u64 });
+        }
+        let mut out = [0u8; N];
+        let avail = s.data.len().saturating_sub(off).min(N);
+        out[..avail].copy_from_slice(&s.data[off..off + avail]);
+        Ok(out)
+    }
+
+    /// Writes a fixed-width scalar; see [`Memory::read_arr`].
+    ///
+    /// # Errors
+    /// Faults when the range is unmapped or read-only.
+    #[inline(always)]
+    pub fn write_arr<const N: usize>(&mut self, addr: u64, bytes: [u8; N]) -> Result<(), MemFault> {
+        let Some(si) = seg_idx(addr) else { return Err(MemFault::Unmapped { addr }) };
+        let off = (addr & OFF_MASK) as usize;
+        let s = &mut self.segments[si];
+        if s.writable {
+            if let Some(b) = s.data.get_mut(off..off + N) {
+                b.copy_from_slice(&bytes);
+                return Ok(());
+            }
+        }
+        // Out of the materialized prefix or a read-only segment: the tail
+        // re-derives the precise fault (including unmapped-vs-read-only
+        // ordering) or materializes and retries.
+        self.write_arr_slow::<N>(si, off, addr, bytes)
+    }
+
+    /// Out-of-prefix tail of [`Memory::write_arr`]: materializes the
+    /// segment up to the write, or faults past the segment end.
+    #[cold]
+    #[inline(never)]
+    fn write_arr_slow<const N: usize>(
+        &mut self,
+        si: usize,
+        off: usize,
+        addr: u64,
+        bytes: [u8; N],
+    ) -> Result<(), MemFault> {
+        let s = &mut self.segments[si];
+        // Fault precedence mirrors the segment walk: addresses past the
+        // extent are unmapped before permissions are consulted, then
+        // read-only, then extent-crossing.
+        if off >= s.size {
+            return Err(MemFault::Unmapped { addr });
+        }
+        if !s.writable {
+            return Err(MemFault::ReadOnly { addr });
+        }
+        if !s.grow_to(off + N) {
+            return Err(MemFault::OutOfRange { addr, len: N as u64 });
+        }
+        s.data[off..off + N].copy_from_slice(&bytes);
+        Ok(())
+    }
+
     /// Reads a little-endian u64.
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> Result<u64, MemFault> {
-        let b = self.read(addr, 8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        self.read_arr::<8>(addr).map(u64::from_le_bytes)
     }
 
     /// Writes a little-endian u64.
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemFault> {
-        self.write(addr, &v.to_le_bytes())
+        self.write_arr::<8>(addr, v.to_le_bytes())
     }
 }
 

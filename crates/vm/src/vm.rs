@@ -29,7 +29,14 @@ use rsti_pac::{KeyId, PacKeys, PacUnit, VaConfig};
 use rsti_telemetry::{AuditRecord, CounterId, Event, Phase};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+// The closure-threaded compiled engine. Declared as a child of this module
+// (rather than a sibling under `lib.rs`) so its closures can reach the
+// interpreter's private state — the register file, the PA unit, the audit
+// constructors — without widening any of it beyond this file's contract.
+#[path = "compile.rs"]
+mod compile;
 
 /// A runtime value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -184,7 +191,7 @@ pub const CRITICAL_EXTERNALS: &[&str] =
     &["system", "exec", "execve", "mprotect", "dlopen", "ap_get_exec_line", "setuid"];
 
 /// Aggregate results of a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecResult {
     /// Final status.
     pub status: Status,
@@ -335,6 +342,65 @@ pub enum Backend {
     MacTable,
 }
 
+/// Which engine executes the image.
+///
+/// Both engines are observably identical — same traps, same audit
+/// records, same cycle/instruction accounting, same telemetry counters —
+/// so the interpreter serves as the differential oracle for the compiled
+/// engine (the fuzz matrix checks every mechanism × opt level under
+/// both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// The match-dispatch interpreter ([`Vm::step`]).
+    #[default]
+    Interp,
+    /// Closure-threaded compiled code: each basic block is compiled once
+    /// into a chain of closures with pre-resolved operand slots, then
+    /// direct-threaded through branch successors.
+    Compiled,
+}
+
+impl ExecBackend {
+    /// Short stable label (`interp` / `compiled`) for tables and configs.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecBackend::Interp => "interp",
+            ExecBackend::Compiled => "compiled",
+        }
+    }
+}
+
+/// Lazily-built compiled code, shared by clones of an [`Image`] and
+/// revalidated against the image's current cost model and enforcement
+/// backend (the two knobs folded into compiled closures) on every use —
+/// mutating a pub field after a run cannot leave stale code behind.
+pub(crate) struct CompiledCache(Mutex<Option<Arc<compile::CompiledModule>>>);
+
+impl CompiledCache {
+    fn empty() -> Self {
+        CompiledCache(Mutex::new(None))
+    }
+}
+
+impl fmt::Debug for CompiledCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = match self.0.lock() {
+            Ok(g) if g.is_some() => "compiled",
+            Ok(_) => "empty",
+            Err(_) => "poisoned",
+        };
+        write!(f, "CompiledCache({state})")
+    }
+}
+
+impl Clone for CompiledCache {
+    fn clone(&self) -> Self {
+        // Share the already-compiled code; a poisoned lock clones empty.
+        let inner = self.0.lock().map(|g| g.clone()).unwrap_or(None);
+        CompiledCache(Mutex::new(inner))
+    }
+}
+
 /// A loadable program image: module + runtime configuration.
 ///
 /// The module is held behind an [`Arc`] so that building an image — and
@@ -367,6 +433,10 @@ pub struct Image {
     /// honours whatever is there on return — the classic ROP surface RSTI
     /// explicitly does *not* cover.
     pub shadow_stack: bool,
+    /// Execution engine (default [`ExecBackend::Interp`]).
+    pub exec: ExecBackend,
+    /// Cache of closure-threaded code, filled on the first compiled run.
+    compiled: CompiledCache,
 }
 
 impl Image {
@@ -376,11 +446,48 @@ impl Image {
         self
     }
 
+    /// Switches the execution engine (builder style).
+    pub fn with_exec(mut self, exec: ExecBackend) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// Disables the shadow stack (builder style) — for experiments that
     /// demonstrate why the paper's §3 assumption matters.
     pub fn without_shadow_stack(mut self) -> Self {
         self.shadow_stack = false;
         self
+    }
+
+    /// Forces the compiled engine's lazy translation to run now. Benches
+    /// call this outside their timed region so throughput numbers measure
+    /// steady-state execution rather than the one-time per-image
+    /// translation (a no-op for interpreter images, which need none).
+    pub fn precompile(&self) {
+        if self.exec == ExecBackend::Compiled {
+            let _ = self.compiled();
+        }
+    }
+
+    /// The compiled form of this image, building (and counting) it on
+    /// first use. Cached code is reused only while the image's cost model
+    /// and enforcement backend still match the fingerprint it was
+    /// compiled under.
+    pub(crate) fn compiled(&self) -> Arc<compile::CompiledModule> {
+        let mut guard = self.compiled.0.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(code) = guard.as_ref() {
+            if code.fingerprint == (self.cost, self.backend) {
+                return Arc::clone(code);
+            }
+        }
+        let tel = rsti_telemetry::global();
+        let code = {
+            let _span = tel.span(Phase::VmCompile);
+            Arc::new(compile::compile_module(self))
+        };
+        tel.add(CounterId::VmCompiledBlocks, code.n_blocks);
+        *guard = Some(Arc::clone(&code));
+        code
     }
 }
 
@@ -427,6 +534,8 @@ impl Image {
             stack_size: 4 << 20,
             backend: Backend::PacInPointer,
             shadow_stack: true,
+            exec: ExecBackend::Interp,
+            compiled: CompiledCache::empty(),
         }
     }
 
@@ -449,6 +558,8 @@ impl Image {
             stack_size: 4 << 20,
             backend: Backend::PacInPointer,
             shadow_stack: true,
+            exec: ExecBackend::Interp,
+            compiled: CompiledCache::empty(),
         }
     }
 
@@ -463,20 +574,25 @@ struct Frame {
     func: FuncId,
     block: usize,
     idx: usize,
-    /// Dense register file indexed by `ValueId`. Entries are tagged with
-    /// the generation that wrote them: a slot is defined only when its tag
-    /// equals [`Frame::gen`], so recycling a pooled frame costs a counter
-    /// bump instead of a memset over every slot.
-    regs: Vec<(u32, RtVal)>,
+    /// Start of this frame's register window in the VM-wide flat file
+    /// ([`Vm::regs`]). Keeping one contiguous `Vec` for every live frame
+    /// (instead of a `Vec` per frame) makes a register access two
+    /// independent loads off the `Vm` pointer rather than a dependent
+    /// chain through `frames.last()` — the single hottest path in both
+    /// engines.
+    reg_base: usize,
     stack_mark: u64,
     ret_to: Option<ValueId>,
     locals: Vec<(VarId, u64)>,
     /// Per-value alloca address cache, indexed and generation-tagged like
-    /// `regs` (an entry is live only when its tag matches `gen`).
-    alloca_cache: Vec<(u32, u64)>,
-    /// The generation tag marking live entries of `regs`/`alloca_cache`.
-    /// Bumped on every reuse; never 0 while the frame is active.
-    gen: u32,
+    /// the register file (an entry is live only when its tag matches
+    /// `gen`).
+    alloca_cache: Vec<(u64, u64)>,
+    /// The activation's generation tag (globally unique, from
+    /// [`Vm::gen_counter`]): a register or alloca-cache slot is defined
+    /// only when its tag matches, so stale slots left behind by popped
+    /// frames or recycled buffers need no memset.
+    gen: u64,
     /// Without a shadow stack: the in-memory slot holding the return
     /// address, and the value it is supposed to contain.
     ret_slot: Option<(u64, u64)>,
@@ -488,7 +604,7 @@ impl Frame {
             func: FuncId(0),
             block: 0,
             idx: 0,
-            regs: Vec::new(),
+            reg_base: 0,
             stack_mark: 0,
             ret_to: None,
             locals: Vec::new(),
@@ -512,7 +628,26 @@ pub struct Vm<'img> {
     pac: PacUnit,
     pp_table: HashMap<u8, u64>,
     frames: Vec<Frame>,
-    /// Retired frames kept for reuse: their `regs`/`alloca_cache`/`locals`
+    /// The flat register file: every live frame's window, contiguous.
+    /// `regs.len()` is a high-water mark — slots past [`Vm::reg_top`]
+    /// hold stale generations and are never considered defined.
+    regs: Vec<(u64, RtVal)>,
+    /// End of the top frame's register window (the next push's base).
+    reg_top: usize,
+    /// Mirror of the top frame's `reg_base`, kept in `Vm` so the hot
+    /// accessors skip the `frames.last()` chain.
+    reg_base: usize,
+    /// Mirror of the top frame's `gen`.
+    cur_gen: u64,
+    /// Source of globally unique activation generations.
+    gen_counter: u64,
+    /// Precomputed from `img.va` at construction: the bits that make a
+    /// pointer non-canonical, and the translated-address mask — so the
+    /// per-access canonicality check in [`Vm::deref_addr`] is two ANDs
+    /// instead of a walk over the VA configuration.
+    noncanon_mask: u64,
+    addr_mask: u64,
+    /// Retired frames kept for reuse: their `alloca_cache`/`locals`
     /// buffers are recycled so steady-state call/return performs no heap
     /// allocation.
     frame_pool: Vec<Frame>,
@@ -585,12 +720,7 @@ impl<'img> Vm<'img> {
             _ => 0,
         };
         // Strings layout.
-        let mut saddr = Vec::with_capacity(m.strings.len());
-        let mut soff = 0u64;
-        for s in &m.strings {
-            saddr.push(layout::STR_BASE + soff);
-            soff += s.len() as u64 + 1;
-        }
+        let (saddr, soff) = string_addresses(m);
         // Segment sizes are program-derived (a huge global array inflates
         // `goff`); an oversized request loads into an already-trapped VM,
         // mirroring the no-`main` path below, instead of aborting the host.
@@ -665,6 +795,14 @@ impl<'img> Vm<'img> {
             pac,
             pp_table: HashMap::new(),
             frames: Vec::new(),
+            regs: Vec::new(),
+            reg_top: 0,
+            reg_base: 0,
+            cur_gen: 0,
+            gen_counter: 0,
+            noncanon_mask: img.va.pac_mask()
+                | if img.va.tbi_mask() == 0 { 0xFF00_0000_0000_0000 } else { 0 },
+            addr_mask: img.va.addr_mask(),
             frame_pool: Vec::new(),
             output: Vec::new(),
             events: Vec::new(),
@@ -733,7 +871,7 @@ impl<'img> Vm<'img> {
     /// # Errors
     /// Fails when the range is unmapped.
     pub fn attacker_read(&self, addr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
-        self.mem.read(addr, len).map(|b| b.to_vec())
+        self.mem.read(addr, len)
     }
 
     /// Convenience: attacker write of a u64.
@@ -789,7 +927,7 @@ impl<'img> Vm<'img> {
 
     /// Runs to completion.
     pub fn run(&mut self) -> ExecResult {
-        self.run_internal(None);
+        self.dispatch(None);
         self.result()
     }
 
@@ -801,7 +939,7 @@ impl<'img> Vm<'img> {
                 "no function `{name}`"
             ))));
         };
-        self.run_internal(Some(fid));
+        self.dispatch(Some(fid));
         match &self.status {
             None => RunStop::Entered,
             Some(s) => RunStop::Done(s.clone()),
@@ -810,8 +948,16 @@ impl<'img> Vm<'img> {
 
     /// Continues a paused run to completion.
     pub fn finish(&mut self) -> ExecResult {
-        self.run_internal(None);
+        self.dispatch(None);
         self.result()
+    }
+
+    /// Routes a (possibly resumed) run to the image's execution engine.
+    fn dispatch(&mut self, watch: Option<FuncId>) {
+        match self.img.exec {
+            ExecBackend::Interp => self.run_internal(watch),
+            ExecBackend::Compiled => self.run_compiled(watch),
+        }
     }
 
     /// The accumulated result (meaningful once finished; callable anytime).
@@ -874,6 +1020,13 @@ impl<'img> Vm<'img> {
             return;
         }
         self.pac.flush_telemetry();
+        tel.add(
+            match self.img.exec {
+                ExecBackend::Interp => CounterId::VmRunsInterp,
+                ExecBackend::Compiled => CounterId::VmRunsCompiled,
+            },
+            1,
+        );
         tel.add(CounterId::VmPacSigns, self.pac.sign_count);
         tel.add(CounterId::VmPacAuths, self.pac.auth_count);
         tel.add(CounterId::VmAuthFailures, self.pac.fail_count);
@@ -1042,22 +1195,18 @@ impl<'img> Vm<'img> {
         }
         let mut frame = self.frame_pool.pop().unwrap_or_else(Frame::blank);
         let nvals = f.value_types.len();
-        // Invalidate every slot by bumping the generation; on wrap, hard
-        // reset the tags once (tag 0 never matches a live generation).
-        if frame.gen == u32::MAX {
-            for e in &mut frame.regs {
-                e.0 = 0;
-            }
-            for e in &mut frame.alloca_cache {
-                e.0 = 0;
-            }
-            frame.gen = 1;
-        } else {
-            frame.gen += 1;
+        // A fresh, globally unique generation invalidates every slot the
+        // window inherits — stale tags (from popped frames or recycled
+        // buffers) can never match, so nothing needs a memset.
+        self.gen_counter += 1;
+        frame.gen = self.gen_counter;
+        let base = self.reg_top;
+        if self.regs.len() < base + nvals {
+            // Extends only past the high-water mark: steady-state
+            // call/return re-covers already-initialized slots for free.
+            self.regs.resize(base + nvals, (0, RtVal::I(0)));
         }
-        if frame.regs.len() < nvals {
-            frame.regs.resize(nvals, (0, RtVal::I(0)));
-        }
+        frame.reg_base = base;
         if frame.alloca_cache.len() < nvals {
             frame.alloca_cache.resize(nvals, (0, 0));
         }
@@ -1067,7 +1216,7 @@ impl<'img> Vm<'img> {
         // unread registers.
         for (i, &a) in args.iter().enumerate() {
             if let Some((pv, _)) = f.params.get(i) {
-                frame.regs[pv.0 as usize] = (frame.gen, a);
+                self.regs[base + pv.0 as usize] = (frame.gen, a);
             }
         }
         // Without the shadow stack, spill a return token into stack
@@ -1093,8 +1242,29 @@ impl<'img> Vm<'img> {
         frame.stack_mark = self.stack_top - if ret_slot.is_some() { 8 } else { 0 };
         frame.ret_to = ret_to;
         frame.ret_slot = ret_slot;
+        self.reg_top = base + nvals;
+        self.reg_base = base;
+        self.cur_gen = frame.gen;
         self.frames.push(frame);
         Ok(())
+    }
+
+    /// Re-derives the register-window mirrors after a frame pop: the
+    /// popped frame's window is released and the caller's becomes
+    /// current.
+    #[inline]
+    fn sync_reg_window(&mut self, popped_base: usize) {
+        self.reg_top = popped_base;
+        match self.frames.last() {
+            Some(fr) => {
+                self.reg_base = fr.reg_base;
+                self.cur_gen = fr.gen;
+            }
+            None => {
+                self.reg_base = 0;
+                self.cur_gen = 0;
+            }
+        }
     }
 
     /// Returns a popped frame's buffers to the pool for reuse.
@@ -1105,13 +1275,12 @@ impl<'img> Vm<'img> {
     }
 
     fn eval(&self, op: &Operand) -> Result<RtVal, Trap> {
-        let fr = self.frames.last().expect("active frame");
         Ok(match op {
             Operand::Value(v) => {
-                let Some(&(tag, val)) = fr.regs.get(v.0 as usize) else {
+                let Some(&(tag, val)) = self.regs.get(self.reg_base + v.0 as usize) else {
                     return Err(oob("register", v.0 as usize));
                 };
-                if tag != fr.gen {
+                if tag != self.cur_gen {
                     return Err(Trap::BadProgram(format!("use of undefined {v}")));
                 }
                 val
@@ -1131,17 +1300,21 @@ impl<'img> Vm<'img> {
         })
     }
 
+    #[inline]
     fn set(&mut self, v: ValueId, val: RtVal) {
-        let fr = self.frames.last_mut().expect("active frame");
-        let i = v.0 as usize;
-        if i >= fr.regs.len() {
+        let i = self.reg_base + v.0 as usize;
+        if i >= self.regs.len() {
             // Malformed image: a result id past the declared value table.
             // Grow the register file rather than abort the process.
-            grow_slots(&mut fr.regs, i, (0, RtVal::I(0)));
+            grow_slots(&mut self.regs, i, (0, RtVal::I(0)));
         }
-        fr.regs[i] = (fr.gen, val);
+        self.regs[i] = (self.cur_gen, val);
+        if i >= self.reg_top {
+            self.reg_top = i + 1;
+        }
     }
 
+    #[inline]
     fn as_ptr(&self, v: RtVal) -> Result<u64, Trap> {
         match v {
             RtVal::P(p) => Ok(p),
@@ -1151,18 +1324,24 @@ impl<'img> Vm<'img> {
     }
 
     /// Checks canonical form and returns the translated address.
+    #[inline(always)]
     fn deref_addr(&self, p: u64) -> Result<u64, Trap> {
-        if !self.img.va.is_canonical(p) {
+        if p & self.noncanon_mask != 0 {
             // Non-canonical (PAC-carrying, poisoned, forged): hardware
             // translation faults.
-            return Err(Trap::Mem {
-                func: self.cur_func_name(),
-                fault: MemFault::Unmapped { addr: p },
-            });
+            return Err(self.noncanonical_trap(p));
         }
-        Ok(self.img.va.canonical(p))
+        Ok(p & self.addr_mask)
     }
 
+    #[cold]
+    #[inline(never)]
+    fn noncanonical_trap(&self, p: u64) -> Trap {
+        Trap::Mem { func: self.cur_func_name(), fault: MemFault::Unmapped { addr: p } }
+    }
+
+    #[cold]
+    #[inline(never)]
     fn mem_err(&self, fault: MemFault) -> Trap {
         Trap::Mem { func: self.cur_func_name(), fault }
     }
@@ -1171,24 +1350,24 @@ impl<'img> Vm<'img> {
         let m = &self.img.module;
         let v = match m.types.get(ty) {
             Type::Bool | Type::I8 => {
-                let b = self.mem.read(addr, 1).map_err(|e| self.mem_err(e))?;
+                let b = self.mem.read_arr::<1>(addr).map_err(|e| self.mem_err(e))?;
                 RtVal::I(b[0] as i8 as i64)
             }
             Type::I16 => {
-                let b = self.mem.read(addr, 2).map_err(|e| self.mem_err(e))?;
-                RtVal::I(i16::from_le_bytes(b.try_into().unwrap()) as i64)
+                let b = self.mem.read_arr::<2>(addr).map_err(|e| self.mem_err(e))?;
+                RtVal::I(i16::from_le_bytes(b) as i64)
             }
             Type::I32 => {
-                let b = self.mem.read(addr, 4).map_err(|e| self.mem_err(e))?;
-                RtVal::I(i32::from_le_bytes(b.try_into().unwrap()) as i64)
+                let b = self.mem.read_arr::<4>(addr).map_err(|e| self.mem_err(e))?;
+                RtVal::I(i32::from_le_bytes(b) as i64)
             }
             Type::I64 => {
-                let b = self.mem.read(addr, 8).map_err(|e| self.mem_err(e))?;
-                RtVal::I(i64::from_le_bytes(b.try_into().unwrap()))
+                let b = self.mem.read_arr::<8>(addr).map_err(|e| self.mem_err(e))?;
+                RtVal::I(i64::from_le_bytes(b))
             }
             Type::F64 => {
-                let b = self.mem.read(addr, 8).map_err(|e| self.mem_err(e))?;
-                RtVal::F(f64::from_le_bytes(b.try_into().unwrap()))
+                let b = self.mem.read_arr::<8>(addr).map_err(|e| self.mem_err(e))?;
+                RtVal::F(f64::from_le_bytes(b))
             }
             Type::Ptr(_) => {
                 let v = self.mem.read_u64(addr).map_err(|e| self.mem_err(e))?;
@@ -1206,43 +1385,24 @@ impl<'img> Vm<'img> {
     fn store_typed(&mut self, addr: u64, ty: TypeId, v: RtVal) -> Result<(), Trap> {
         let img = self.img;
         let m = &img.module;
-        // All scalar stores are <= 8 bytes: encode into a stack scratch
-        // buffer instead of allocating a `Vec` per store.
-        let mut buf = [0u8; 8];
-        let n: usize = match (m.types.get(ty), v) {
-            (Type::Bool | Type::I8, RtVal::I(i)) => {
-                buf[0] = i as u8;
-                1
-            }
-            (Type::I16, RtVal::I(i)) => {
-                buf[..2].copy_from_slice(&(i as i16).to_le_bytes());
-                2
-            }
-            (Type::I32, RtVal::I(i)) => {
-                buf[..4].copy_from_slice(&(i as i32).to_le_bytes());
-                4
-            }
-            (Type::I64, RtVal::I(i)) => {
-                buf = i.to_le_bytes();
-                8
-            }
-            (Type::F64, RtVal::F(f)) => {
-                buf = f.to_le_bytes();
-                8
-            }
-            (Type::F64, RtVal::I(i)) => {
-                buf = (i as f64).to_le_bytes();
-                8
-            }
+        // All scalar stores are <= 8 bytes; each arm writes its exact
+        // width so the range check folds to one comparison.
+        let r = match (m.types.get(ty), v) {
+            (Type::Bool | Type::I8, RtVal::I(i)) => self.mem.write_arr::<1>(addr, [i as u8]),
+            (Type::I16, RtVal::I(i)) => self.mem.write_arr::<2>(addr, (i as i16).to_le_bytes()),
+            (Type::I32, RtVal::I(i)) => self.mem.write_arr::<4>(addr, (i as i32).to_le_bytes()),
+            (Type::I64, RtVal::I(i)) => self.mem.write_arr::<8>(addr, i.to_le_bytes()),
+            (Type::F64, RtVal::F(f)) => self.mem.write_arr::<8>(addr, f.to_le_bytes()),
+            (Type::F64, RtVal::I(i)) => self.mem.write_arr::<8>(addr, (i as f64).to_le_bytes()),
             (Type::Ptr(_), v) => {
-                buf = self.as_ptr(v)?.to_le_bytes();
-                8
+                let p = self.as_ptr(v)?;
+                self.mem.write_arr::<8>(addr, p.to_le_bytes())
             }
             (t, v) => {
                 return Err(Trap::BadProgram(format!("store of {v:?} into {t:?}")))
             }
         };
-        self.mem.write(addr, &buf[..n]).map_err(|e| self.mem_err(e))
+        r.map_err(|e| self.mem_err(e))
     }
 
     /// The type a store writes through (pointee of the ptr operand).
@@ -1325,6 +1485,17 @@ impl<'img> Vm<'img> {
             }
         }
 
+        self.charge_block_transfer()?;
+        self.exec_term(&blk.term)
+    }
+
+    /// The block entry/exit charge: fuel check plus instruction, opcode-
+    /// class, and cycle accounting for a terminator. Both engines fund
+    /// every block transfer through this one site, so interpreted and
+    /// compiled runs report identical `cycles`/`insts` totals by
+    /// construction.
+    #[inline]
+    fn charge_block_transfer(&mut self) -> Result<(), Trap> {
         if self.insts >= self.fuel {
             return Err(Trap::FuelExhausted);
         }
@@ -1332,8 +1503,8 @@ impl<'img> Vm<'img> {
         if self.trace_enabled {
             self.opclass[OPCLASS_BRANCH] += 1;
         }
-        self.cycles += img.cost.branch;
-        self.exec_term(&blk.term)
+        self.cycles += self.img.cost.branch;
+        Ok(())
     }
 
     fn jump(&mut self, bb: rsti_ir::BlockId) {
@@ -1371,6 +1542,7 @@ impl<'img> Vm<'img> {
                     if found != expected {
                         let fr = self.frames.pop().expect("frame");
                         self.stack_top = fr.stack_mark;
+                        self.sync_reg_window(fr.reg_base);
                         self.recycle(fr);
                         let target = self.img.va.canonical(found);
                         return match resolve_code_addr(&self.img.module, target) {
@@ -1395,27 +1567,27 @@ impl<'img> Vm<'img> {
                 }
                 let fr = self.frames.pop().expect("frame");
                 self.stack_top = fr.stack_mark;
-                match self.frames.last_mut() {
-                    None => {
-                        let code = match val {
-                            Some(RtVal::I(i)) => i,
-                            Some(RtVal::P(p)) => p as i64,
-                            Some(RtVal::F(f)) => f as i64,
-                            None => 0,
-                        };
-                        self.status = Some(Status::Exited(code));
+                self.sync_reg_window(fr.reg_base);
+                if self.frames.is_empty() {
+                    let code = match val {
+                        Some(RtVal::I(i)) => i,
+                        Some(RtVal::P(p)) => p as i64,
+                        Some(RtVal::F(f)) => f as i64,
+                        None => 0,
+                    };
+                    self.status = Some(Status::Exited(code));
+                } else if let Some(rt) = fr.ret_to {
+                    let i = self.reg_base + rt.0 as usize;
+                    if i >= self.regs.len() {
+                        grow_slots(&mut self.regs, i, (0, RtVal::I(0)));
                     }
-                    Some(caller) => {
-                        if let Some(rt) = fr.ret_to {
-                            if rt.0 as usize >= caller.regs.len() {
-                                grow_slots(&mut caller.regs, rt.0 as usize, (0, RtVal::I(0)));
-                            }
-                            caller.regs[rt.0 as usize] = match val {
-                                Some(v) => (caller.gen, v),
-                                // Void return into a slot: leave undefined.
-                                None => (0, RtVal::I(0)),
-                            };
-                        }
+                    self.regs[i] = match val {
+                        Some(v) => (self.cur_gen, v),
+                        // Void return into a slot: leave undefined.
+                        None => (0, RtVal::I(0)),
+                    };
+                    if i >= self.reg_top {
+                        self.reg_top = i + 1;
                     }
                 }
                 self.recycle(fr);
@@ -1890,9 +2062,14 @@ fn wrap_int(m: &Module, ty: TypeId, v: i64) -> i64 {
     }
 }
 
-fn cmp_vals(op: CmpOp, a: RtVal, b: RtVal) -> bool {
+/// Orders two runtime values under the comparison coercion rules; shared
+/// by the interpreter's `cmp_vals` and the compiled engine's per-op
+/// closures. The common `(I, I)` arm leads.
+#[inline(always)]
+fn ord_vals(a: RtVal, b: RtVal) -> std::cmp::Ordering {
     use std::cmp::Ordering;
-    let ord = match (a, b) {
+    match (a, b) {
+        (RtVal::I(x), RtVal::I(y)) => x.cmp(&y),
         (RtVal::F(x), RtVal::F(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Greater),
         (RtVal::F(x), RtVal::I(y)) => {
             x.partial_cmp(&(y as f64)).unwrap_or(Ordering::Greater)
@@ -1903,11 +2080,15 @@ fn cmp_vals(op: CmpOp, a: RtVal, b: RtVal) -> bool {
         (RtVal::P(x), RtVal::P(y)) => x.cmp(&y),
         (RtVal::P(x), RtVal::I(y)) => x.cmp(&(y as u64)),
         (RtVal::I(x), RtVal::P(y)) => (x as u64).cmp(&y),
-        (RtVal::I(x), RtVal::I(y)) => x.cmp(&y),
         // Float/pointer comparisons cannot come from verified IR; order
         // arbitrarily rather than panic.
         (RtVal::F(_), RtVal::P(_)) | (RtVal::P(_), RtVal::F(_)) => Ordering::Greater,
-    };
+    }
+}
+
+fn cmp_vals(op: CmpOp, a: RtVal, b: RtVal) -> bool {
+    use std::cmp::Ordering;
+    let ord = ord_vals(a, b);
     match op {
         CmpOp::Eq => ord == Ordering::Equal,
         CmpOp::Ne => ord != Ordering::Equal,
@@ -1916,6 +2097,19 @@ fn cmp_vals(op: CmpOp, a: RtVal, b: RtVal) -> bool {
         CmpOp::Gt => ord == Ordering::Greater,
         CmpOp::Ge => ord != Ordering::Less,
     }
+}
+
+/// String-segment layout: the address of each interned string, plus the
+/// total segment size. Shared by the loader and the block compiler so
+/// both resolve `Operand::Str` to the same addresses.
+pub(crate) fn string_addresses(m: &Module) -> (Vec<u64>, u64) {
+    let mut saddr = Vec::with_capacity(m.strings.len());
+    let mut soff = 0u64;
+    for s in &m.strings {
+        saddr.push(layout::STR_BASE + soff);
+        soff += s.len() as u64 + 1;
+    }
+    (saddr, soff)
 }
 
 /// The code address of a function. An out-of-range id gets a code-segment

@@ -1,0 +1,333 @@
+//! Interpreter ≡ compiled-engine parity, as executable claims.
+//!
+//! The closure-threaded engine promises to be *observably identical* to
+//! the interpreter — that is what lets the interpreter serve as its
+//! differential oracle. These tests pin the promise down for every trap
+//! class and for the accounting: both engines must produce equal
+//! [`ExecResult`]s (status, output, events, cycles, instructions, PAC
+//! counters, site counts, audit records) on the same image and the same
+//! attacker actions.
+
+use rsti_core::{Mechanism, OptLevel};
+use rsti_ir::{BlockId, Terminator};
+use rsti_vm::{Backend, ExecBackend, ExecResult, Image, RunStop, Status, Trap, Vm};
+
+/// Runs one image under one engine, applying `attack` at the `fire` pause
+/// point when given.
+fn run_one(
+    img: &Image,
+    exec: ExecBackend,
+    fuel: u64,
+    attack: Option<&dyn Fn(&mut Vm)>,
+) -> ExecResult {
+    let img = img.clone().with_exec(exec);
+    let mut vm = Vm::new(&img);
+    vm.set_fuel(fuel);
+    match attack {
+        None => vm.run(),
+        Some(f) => {
+            assert_eq!(vm.run_to_function("fire"), RunStop::Entered, "{}", exec.label());
+            f(&mut vm);
+            vm.finish()
+        }
+    }
+}
+
+/// Asserts both engines agree on an image, returns the (shared) result.
+fn assert_parity(
+    img: &Image,
+    fuel: u64,
+    attack: Option<&dyn Fn(&mut Vm)>,
+    label: &str,
+) -> ExecResult {
+    let interp = run_one(img, ExecBackend::Interp, fuel, attack);
+    let compiled = run_one(img, ExecBackend::Compiled, fuel, attack);
+    assert_eq!(interp, compiled, "backend divergence: {label}");
+    compiled
+}
+
+fn instrumented(src: &str, mech: Mechanism, opt: OptLevel) -> Image {
+    let m = rsti_frontend::compile(src, "parity").expect("compiles");
+    let mut p = rsti_core::instrument(&m, mech);
+    rsti_core::optimize_program_at(&mut p, opt);
+    Image::from_instrumented(&p)
+}
+
+fn baseline(src: &str) -> Image {
+    let m = rsti_frontend::compile(src, "parity").expect("compiles");
+    Image::baseline(&m)
+}
+
+const VICTIM: &str = r#"
+    void benign() { }
+    void gadget() { print_str("gadget"); }
+    struct obj { long pad; void (*fp)(); };
+    struct obj* g_obj;
+    void fire() { g_obj->fp(); }
+    int main() {
+        g_obj = (struct obj*) malloc(sizeof(struct obj));
+        g_obj->fp = benign;
+        fire();
+        return 0;
+    }
+"#;
+
+/// A compute-heavy program touching arithmetic, memory, branches, calls,
+/// and printing — the parity workhorse for clean runs.
+const MIXED: &str = r#"
+    int fib(int n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    int main() {
+        int* buf = (int*) malloc(64 * 4);
+        int i = 0;
+        while (i < 64) {
+            buf[i] = i * 3 - 1;
+            i = i + 1;
+        }
+        long sum = 0;
+        i = 0;
+        while (i < 64) {
+            sum = sum + buf[i];
+            i = i + 1;
+        }
+        print_int(sum);
+        print_int(fib(12));
+        double x = 1.5;
+        double y = x * 4.0 + 0.25;
+        print_int((int) y);
+        free(buf);
+        return 0;
+    }
+"#;
+
+// ---- trap-class parity table ----------------------------------------------
+
+/// PAC violation parity, per mechanism, both enforcement backends: the
+/// attacker swaps the signed function pointer for a raw gadget address at
+/// the `fire` pause point; every configuration must diverge-free report
+/// the same `PacAuthFailure` (or `PpAuthFailure`), same audit record,
+/// same line, same counters.
+#[test]
+fn pac_violation_parity_per_mechanism() {
+    let corrupt: &dyn Fn(&mut Vm) = &|vm| {
+        let obj = vm.heap_live()[0].0;
+        let gadget = vm.func_addr("gadget").unwrap();
+        vm.attacker_write_u64(obj + 8, gadget).unwrap();
+    };
+    for mech in Mechanism::ALL {
+        for opt in OptLevel::ALL {
+            for enforce in [Backend::PacInPointer, Backend::MacTable] {
+                let img = instrumented(VICTIM, mech, opt).with_backend(enforce);
+                let label = format!("{mech:?}/{opt:?}/{enforce:?}");
+                let r = assert_parity(&img, 10_000_000, Some(corrupt), &label);
+                assert!(
+                    matches!(
+                        r.status,
+                        Status::Trapped(
+                            Trap::PacAuthFailure { .. }
+                                | Trap::PpAuthFailure { .. }
+                                | Trap::NonCanonicalCall { .. }
+                        )
+                    ),
+                    "{label}: corruption not detected: {:?}",
+                    r.status
+                );
+                assert_eq!(r.audit.len(), usize::from(r.status != Status::Exited(0) && matches!(r.status, Status::Trapped(ref t) if t.is_detection())), "{label}");
+            }
+        }
+    }
+}
+
+/// StackOverflow parity: unbounded recursion overflows the frame limit
+/// identically under both engines.
+#[test]
+fn stack_overflow_parity() {
+    let src = r#"
+        int down(int n) { return down(n + 1); }
+        int main() { return down(0); }
+    "#;
+    let r = assert_parity(&baseline(src), 50_000_000, None, "stack-overflow");
+    assert_eq!(
+        std::mem::discriminant(match &r.status {
+            Status::Trapped(t) => t,
+            s => panic!("expected trap, got {s:?}"),
+        }),
+        std::mem::discriminant(&Trap::StackOverflow)
+    );
+}
+
+/// Alloca-exhaustion StackOverflow parity (the stack-segment variant).
+#[test]
+fn alloca_overflow_parity() {
+    let src = r#"
+        int grow(int n) {
+            long slab[4096];
+            slab[0] = n;
+            return grow(n + (int) slab[0] - n + 1);
+        }
+        int main() { return grow(0); }
+    "#;
+    let r = assert_parity(&baseline(src), 50_000_000, None, "alloca-overflow");
+    assert!(
+        matches!(r.status, Status::Trapped(Trap::StackOverflow)),
+        "{:?}",
+        r.status
+    );
+}
+
+/// HeapExhausted parity: a malloc loop drains the arena identically.
+#[test]
+fn heap_exhausted_parity() {
+    let src = r#"
+        int main() {
+            int i = 0;
+            while (i < 100000) {
+                char* p = (char*) malloc(65536);
+                p[0] = 1;
+                i = i + 1;
+            }
+            return 0;
+        }
+    "#;
+    let r = assert_parity(&baseline(src), 50_000_000, None, "heap-exhausted");
+    assert!(
+        matches!(r.status, Status::Trapped(Trap::HeapExhausted)),
+        "{:?}",
+        r.status
+    );
+}
+
+/// Segment-error parity: a store through a null pointer faults with the
+/// same `Mem` trap (function name included) under both engines.
+#[test]
+fn null_deref_parity() {
+    let src = r#"
+        int main() {
+            int* p = null;
+            *p = 7;
+            return 0;
+        }
+    "#;
+    let r = assert_parity(&baseline(src), 1_000_000, None, "null-deref");
+    assert!(matches!(r.status, Status::Trapped(Trap::Mem { .. })), "{:?}", r.status);
+}
+
+/// Division-by-zero parity (trap carries the function name).
+#[test]
+fn div_by_zero_parity() {
+    let src = r#"
+        int main() {
+            int d = 4;
+            int z = d - 4;
+            return 12 / z;
+        }
+    "#;
+    let r = assert_parity(&baseline(src), 1_000_000, None, "div-zero");
+    assert!(matches!(r.status, Status::Trapped(Trap::DivByZero { .. })), "{:?}", r.status);
+}
+
+/// BadProgram parity: reaching `unreachable` (here: a terminator swapped
+/// in post-compile) renders the identical message under both engines.
+#[test]
+fn unreachable_parity() {
+    let mut m = rsti_frontend::compile("int main() { return 0; }", "parity").unwrap();
+    let main = m.func_by_name("main").unwrap();
+    m.funcs[main.0 as usize].blocks[0].term = Terminator::Unreachable;
+    let r = assert_parity(&Image::baseline(&m), 1_000_000, None, "unreachable");
+    assert!(
+        matches!(&r.status, Status::Trapped(Trap::BadProgram(s)) if s.contains("unreachable")),
+        "{:?}",
+        r.status
+    );
+}
+
+/// BadProgram parity: a branch to a missing block reports the same
+/// message from the compiled driver's block lookup as from `step`.
+#[test]
+fn missing_block_parity() {
+    let mut m = rsti_frontend::compile("int main() { return 0; }", "parity").unwrap();
+    let main = m.func_by_name("main").unwrap();
+    m.funcs[main.0 as usize].blocks[0].term = Terminator::Br(BlockId(99));
+    let r = assert_parity(&Image::baseline(&m), 1_000_000, None, "missing-block");
+    assert!(
+        matches!(&r.status, Status::Trapped(Trap::BadProgram(s)) if s.contains("missing block")),
+        "{:?}",
+        r.status
+    );
+}
+
+// ---- accounting parity -----------------------------------------------------
+
+/// The block entry/exit charge is backend-neutral: clean runs report
+/// identical `cycles` (the `cycle_model_total`) and `insts` across
+/// engines, for every mechanism × opt level — the regression test for
+/// the shared `charge_block_transfer` site.
+#[test]
+fn cycle_model_total_is_backend_neutral() {
+    for src in [MIXED, VICTIM] {
+        let b = baseline(src);
+        assert_parity(&b, 50_000_000, None, "baseline accounting");
+        for mech in Mechanism::ALL {
+            for opt in OptLevel::ALL {
+                let img = instrumented(src, mech, opt);
+                let label = format!("accounting {mech:?}/{opt:?}");
+                let r = assert_parity(&img, 50_000_000, None, &label);
+                assert!(r.status.is_exit(), "{label}: {:?}", r.status);
+                assert!(r.cycles > 0 && r.insts > 0, "{label}");
+            }
+        }
+    }
+}
+
+/// Fuel exhaustion is charge-exact: cutting the budget to an arbitrary
+/// point mid-run leaves both engines with the same instruction and cycle
+/// totals — the compiled engine's pre-charge/rollback bookkeeping cannot
+/// drift from per-op charging even when the budget expires mid-block.
+#[test]
+fn fuel_exhaustion_accounting_parity() {
+    let img = baseline(MIXED);
+    for fuel in [1, 7, 50, 333, 1234, 2500] {
+        let r = assert_parity(&img, fuel, None, &format!("fuel={fuel}"));
+        assert!(
+            matches!(r.status, Status::Trapped(Trap::FuelExhausted)),
+            "fuel={fuel}: {:?}",
+            r.status
+        );
+        assert_eq!(r.insts, fuel, "fuel={fuel}: exhaustion must stop exactly at the budget");
+    }
+}
+
+/// Watchpoint pause/resume works identically: pausing at `fire`, reading
+/// attacker-visible state, and finishing produces the same result — the
+/// compiled driver's single-block mode must see every block entry.
+#[test]
+fn watchpoint_resume_parity() {
+    let img = instrumented(VICTIM, Mechanism::Stwc, OptLevel::Cfg);
+    let benign: &dyn Fn(&mut Vm) = &|vm| {
+        // Pause, look, touch nothing: the run must stay clean.
+        assert!(!vm.heap_live().is_empty());
+    };
+    let r = assert_parity(&img, 10_000_000, Some(benign), "watch-resume");
+    assert_eq!(r.status, Status::Exited(0));
+}
+
+/// MacTable clean-run parity: sign/auth round trips through the shadow
+/// MAC table leave identical counters.
+#[test]
+fn mac_table_clean_run_parity() {
+    for mech in Mechanism::ALL {
+        let img = instrumented(VICTIM, mech, OptLevel::BlockLocal).with_backend(Backend::MacTable);
+        let r = assert_parity(&img, 10_000_000, None, &format!("mac-clean {mech:?}"));
+        assert_eq!(r.status, Status::Exited(0), "{mech:?}");
+    }
+}
+
+/// The compiled engine reports the same per-site dynamic PA profile.
+#[test]
+fn site_count_parity_under_stl() {
+    let img = instrumented(VICTIM, Mechanism::Stl, OptLevel::None);
+    let r = assert_parity(&img, 10_000_000, None, "stl-sites");
+    assert!(r.site_counts.iter().sum::<u64>() > 0, "STL run exercised no PA sites");
+}
