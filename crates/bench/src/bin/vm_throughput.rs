@@ -29,6 +29,16 @@
 //! `cfg` under both engines, with executed `aut` counts, so the
 //! check-optimizer's dynamic effect is recorded next to the throughput it
 //! buys.
+//!
+//! The telemetry-enabled rounds run under *both* engines (the compiled
+//! engine pays a different relative cost: its fast path skips per-op
+//! dispatch, so flipping the collector on is proportionally pricier), and
+//! an attribution-profiler round pins the profiler's two guarantees on
+//! the real mix: inertness (attr-on deterministic totals are asserted
+//! bit-identical to attr-off) and a recorded profiler-on cost. Every run
+//! appends one schema-versioned line to `reports/bench_history.jsonl` —
+//! the trajectory log that `rsti report` diffs and CI's regression check
+//! reads.
 
 use rsti_core::{Mechanism, OptLevel};
 use rsti_vm::{ExecBackend, Image, Status, Vm};
@@ -61,7 +71,7 @@ impl MixResult {
 /// workload) at `level` for `exec`, translated and ready to run — image
 /// construction, instrumentation, and compiled-engine translation are all
 /// one-time costs that must stay outside every timer.
-fn build_imgs(level: OptLevel, exec: ExecBackend) -> Vec<Image> {
+fn build_imgs(level: OptLevel, exec: ExecBackend, attr: bool) -> Vec<Image> {
     let mut imgs = Vec::new();
     let ws: Vec<_> = rsti_workloads::nbench().into_iter().chain(rsti_workloads::nginx()).collect();
     for w in &ws {
@@ -73,6 +83,9 @@ fn build_imgs(level: OptLevel, exec: ExecBackend) -> Vec<Image> {
         let mut p = rsti_core::instrument(&m, Mechanism::Stwc);
         rsti_core::optimize_module(&mut p.module, level);
         imgs.push(Image::from_instrumented_owned(p).with_exec(exec));
+    }
+    if attr {
+        imgs = imgs.into_iter().map(Image::with_attr).collect();
     }
     for img in &imgs {
         img.precompile();
@@ -118,8 +131,9 @@ fn main() {
     // comparison instead of landing entirely on one.
     let tel = rsti_telemetry::global();
     tel.disable();
-    let interp_imgs = build_imgs(OptLevel::Cfg, ExecBackend::Interp);
-    let compiled_imgs = build_imgs(OptLevel::Cfg, ExecBackend::Compiled);
+    let interp_imgs = build_imgs(OptLevel::Cfg, ExecBackend::Interp, false);
+    let compiled_imgs = build_imgs(OptLevel::Cfg, ExecBackend::Compiled, false);
+    let attr_imgs = build_imgs(OptLevel::Cfg, ExecBackend::Interp, true);
     let n = interp_imgs.len();
     let mut scratch = vec![f64::INFINITY; n];
     let mut sink = MixResult::default();
@@ -130,9 +144,13 @@ fn main() {
     let mut m = MixResult::default();
     let mut t = MixResult::default();
     let mut c = MixResult::default();
+    let mut ct = MixResult::default();
+    let mut a = MixResult::default();
     let mut bm = vec![f64::INFINITY; n];
     let mut bt = vec![f64::INFINITY; n];
     let mut bc = vec![f64::INFINITY; n];
+    let mut bct = vec![f64::INFINITY; n];
+    let mut ba = vec![f64::INFINITY; n];
     for round in 0..10 {
         let first = round == 0;
         for i in 0..n {
@@ -142,6 +160,10 @@ fn main() {
             time_one(&interp_imgs[i], i, &mut bt, &mut t, first);
             tel.disable();
             time_one(&compiled_imgs[i], i, &mut bc, &mut c, first);
+            tel.enable();
+            time_one(&compiled_imgs[i], i, &mut bct, &mut ct, first);
+            tel.disable();
+            time_one(&attr_imgs[i], i, &mut ba, &mut a, first);
         }
     }
     tel.disable();
@@ -149,13 +171,23 @@ fn main() {
     m.secs = bm.iter().sum();
     t.secs = bt.iter().sum();
     c.secs = bc.iter().sum();
+    ct.secs = bct.iter().sum();
+    a.secs = ba.iter().sum();
     assert_mix_parity(&m, &c, "headline mix");
+    // The profiler's inertness guarantee, asserted on the real mix: with
+    // attribution on, every deterministic total is bit-identical to the
+    // profiler-off run — the profiler only observes.
+    assert_mix_parity(&m, &a, "attr-on mix (inertness)");
     let ips = m.ips();
     let speedup = ips / PRE_CHANGE_INSTS_PER_SEC;
     let ips_on = t.ips();
     let on_delta_pct = (ips / ips_on - 1.0) * 100.0;
     let cips = c.ips();
     let cspeed = cips / ips;
+    let cips_on = ct.ips();
+    let con_delta_pct = (cips / cips_on - 1.0) * 100.0;
+    let aips = a.ips();
+    let attr_delta_pct = (ips / aips - 1.0) * 100.0;
 
     println!("vm_throughput: nbench + NGINX mix, baseline + STWC");
     println!("  instructions executed : {} (one mix pass)", m.insts);
@@ -165,6 +197,8 @@ fn main() {
     println!("  cycle-model total     : {}", m.cycles);
     println!("  pre-change insts/sec  : {PRE_CHANGE_INSTS_PER_SEC:.0}  (x{speedup:.2})");
     println!("  telemetry-on insts/s  : {ips_on:.0}  (enabled costs {on_delta_pct:+.2}%)");
+    println!("  compiled tel-on i/s   : {cips_on:.0}  (enabled costs {con_delta_pct:+.2}%)");
+    println!("  attr-on insts/s       : {aips:.0}  (profiler costs {attr_delta_pct:+.2}%, interp)");
 
     // The optimizer-level ablation on the same mix, under both engines:
     // fewer executed checks ⇒ fewer instructions ⇒ more useful work per
@@ -174,8 +208,8 @@ fn main() {
     let mut levels_json = String::new();
     println!("  per-opt-level (same mix, 8 paired rounds each):");
     for (i, level) in OptLevel::ALL.iter().enumerate() {
-        let imgs = build_imgs(*level, ExecBackend::Interp);
-        let cimgs = build_imgs(*level, ExecBackend::Compiled);
+        let imgs = build_imgs(*level, ExecBackend::Interp, false);
+        let cimgs = build_imgs(*level, ExecBackend::Compiled, false);
         let mut r = MixResult::default();
         let mut rc = MixResult::default();
         let mut br = vec![f64::INFINITY; imgs.len()];
@@ -226,9 +260,40 @@ fn main() {
          \"instructions\": {},\n  \"cycle_model_total\": {},\n  \"wall_seconds\": {:.4},\n  \
          \"telemetry_on_insts_per_sec\": {ips_on:.0},\n  \
          \"telemetry_enabled_cost_pct\": {on_delta_pct:.2},\n  \
+         \"compiled_telemetry_on_insts_per_sec\": {cips_on:.0},\n  \
+         \"compiled_telemetry_cost_pct\": {con_delta_pct:.2},\n  \
+         \"attr_on_insts_per_sec\": {aips:.0},\n  \
+         \"attr_cost_pct\": {attr_delta_pct:.2},\n  \
          \"opt_levels\": [\n{levels_json}\n  ]\n}}\n",
         m.insts, m.cycles, m.secs
     );
     std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
     println!("wrote BENCH_vm.json");
+
+    // One schema-versioned line per run appended to the trajectory log —
+    // `rsti report` diffs the last two entries, and CI's regression check
+    // reads the final line instead of digging through git history.
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let entry = format!(
+        "{{\"schema\": 1, \"unix_ts\": {unix_ts}, \"bench\": \"vm_throughput\", \
+         \"insts_per_sec\": {ips:.0}, \"compiled_insts_per_sec\": {cips:.0}, \
+         \"compiled_speedup_vs_interp\": {cspeed:.3}, \
+         \"telemetry_enabled_cost_pct\": {on_delta_pct:.2}, \
+         \"compiled_telemetry_cost_pct\": {con_delta_pct:.2}, \
+         \"attr_on_insts_per_sec\": {aips:.0}, \"attr_cost_pct\": {attr_delta_pct:.2}, \
+         \"instructions\": {}, \"cycle_model_total\": {}, \"pac_auths\": {}}}\n",
+        m.insts, m.cycles, m.pac_auths
+    );
+    std::fs::create_dir_all("reports").expect("create reports/");
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("reports/bench_history.jsonl")
+        .and_then(|mut f| f.write_all(entry.as_bytes()))
+        .expect("append reports/bench_history.jsonl");
+    println!("appended reports/bench_history.jsonl");
 }

@@ -1,0 +1,115 @@
+//! Attribution-profiler parity and inertness on the real workload mix.
+//!
+//! The acceptance bar for the profiler is twofold. First, *parity*: the
+//! interpreter and the closure-threaded compiled engine must produce the
+//! **identical** attribution profile — per-function cycles/insts/auths,
+//! per-site stats, histograms, and folded call-path samples — on the
+//! nbench + NGINX mix, because attribution forces the compiled driver onto
+//! its per-op slow path where the charge ordering matches the interpreter
+//! exactly. Second, *inertness*: with attribution off (the default), runs
+//! are bit-identical to what they were before the profiler existed, and
+//! turning it on never changes a verdict, an output line, or a
+//! deterministic total — it only observes.
+
+use rsti_core::{Mechanism, OptLevel};
+use rsti_vm::{ExecBackend, Image, Status, Vm};
+
+/// Baseline + STWC images for every workload in the mix, mirroring the
+/// `vm_throughput` image set (same inlining and opt level).
+fn mix_images(level: OptLevel) -> Vec<(String, Image)> {
+    let mut imgs = Vec::new();
+    let ws: Vec<_> = rsti_workloads::nbench().into_iter().chain(rsti_workloads::nginx()).collect();
+    for w in &ws {
+        let mut m = w.module();
+        rsti_core::inline_leaf_functions(&mut m, 96);
+        let mut mb = m.clone();
+        rsti_core::optimize_module(&mut mb, level);
+        imgs.push((format!("{}/baseline", w.name), Image::baseline_owned(mb)));
+        let mut p = rsti_core::instrument(&m, Mechanism::Stwc);
+        rsti_core::optimize_module(&mut p.module, level);
+        imgs.push((format!("{}/stwc", w.name), Image::from_instrumented_owned(p)));
+    }
+    imgs
+}
+
+fn run(img: &Image) -> rsti_vm::ExecResult {
+    let mut vm = Vm::new(img);
+    vm.set_fuel(200_000_000);
+    vm.run()
+}
+
+/// Per-function cycles/insts/auths, per-site stats, inclusive histograms,
+/// and sampled call paths are identical between `--backend interp` and
+/// `--backend compiled` on the full nbench + NGINX mix.
+#[test]
+fn attr_profiles_identical_across_engines() {
+    for (name, img) in mix_images(OptLevel::Cfg) {
+        // A small sampling period exercises the sampler on every workload.
+        let interp = img.clone().with_attr_sampling(512).with_exec(ExecBackend::Interp);
+        let compiled = interp.clone().with_exec(ExecBackend::Compiled);
+        compiled.precompile();
+        let ri = run(&interp);
+        let rc = run(&compiled);
+        assert!(matches!(ri.status, Status::Exited(0)), "{name}: {:?}", ri.status);
+        assert_eq!(ri.status, rc.status, "{name}: status diverges");
+        assert_eq!(ri.cycles, rc.cycles, "{name}: cycle totals diverge");
+        assert_eq!(ri.insts, rc.insts, "{name}: instruction totals diverge");
+        assert_eq!(ri.pac_auths, rc.pac_auths, "{name}: auth totals diverge");
+        let (pi, pc) = (ri.attr.expect("interp attr"), rc.attr.expect("compiled attr"));
+        // Spot-check the load-bearing slices first for a readable failure…
+        for (fi, fc) in pi.funcs.iter().zip(pc.funcs.iter()) {
+            assert_eq!(fi.cycles, fc.cycles, "{name}: func {} cycles", fi.name);
+            assert_eq!(fi.insts, fc.insts, "{name}: func {} insts", fi.name);
+            assert_eq!(fi.pac_auths, fc.pac_auths, "{name}: func {} auths", fi.name);
+        }
+        for (si, sc) in pi.sites.iter().zip(pc.sites.iter()) {
+            assert_eq!(si, sc, "{name}: site {} diverges", si.site.label());
+        }
+        // …then require the whole profile equal, folded stacks included.
+        assert_eq!(pi, pc, "{name}: attribution profiles diverge");
+        assert!(pi.samples > 0, "{name}: sampler never fired");
+    }
+}
+
+/// Attribution is observation-only: enabling it changes no verdict, no
+/// output, and no deterministic total, under either engine.
+#[test]
+fn attr_is_inert_on_verdicts_and_totals() {
+    for (name, img) in mix_images(OptLevel::Cfg) {
+        for exec in [ExecBackend::Interp, ExecBackend::Compiled] {
+            let off = img.clone().with_exec(exec);
+            let on = off.clone().with_attr();
+            off.precompile();
+            on.precompile();
+            let (roff, ron) = (run(&off), run(&on));
+            assert!(roff.attr.is_none(), "{name}: attr-off run produced a profile");
+            assert!(ron.attr.is_some(), "{name}: attr-on run lost its profile");
+            assert_eq!(roff.status, ron.status, "{name}/{exec:?}: status changed");
+            assert_eq!(roff.output, ron.output, "{name}/{exec:?}: output changed");
+            assert_eq!(roff.cycles, ron.cycles, "{name}/{exec:?}: cycles changed");
+            assert_eq!(roff.insts, ron.insts, "{name}/{exec:?}: insts changed");
+            assert_eq!(roff.pac_signs, ron.pac_signs, "{name}/{exec:?}: signs changed");
+            assert_eq!(roff.pac_auths, ron.pac_auths, "{name}/{exec:?}: auths changed");
+            assert_eq!(roff.site_counts, ron.site_counts, "{name}/{exec:?}: site counts changed");
+            assert_eq!(roff.audit, ron.audit, "{name}/{exec:?}: audit records changed");
+        }
+    }
+}
+
+/// The profile's accounting is internally consistent: exclusive
+/// per-function cycles and insts sum to the run totals, and per-site auth
+/// counts sum to the run's auth total.
+#[test]
+fn attr_totals_are_conserved() {
+    for (name, img) in mix_images(OptLevel::Cfg) {
+        let img = img.with_attr().with_exec(ExecBackend::Interp);
+        let r = run(&img);
+        let p = r.attr.expect("attr profile");
+        let fcycles: u64 = p.funcs.iter().map(|f| f.cycles).sum();
+        let finsts: u64 = p.funcs.iter().map(|f| f.insts).sum();
+        let sauths: u64 = p.sites.iter().map(|s| s.auths).sum();
+        assert_eq!(fcycles, r.cycles, "{name}: per-func cycles don't sum to total");
+        assert_eq!(finsts, r.insts, "{name}: per-func insts don't sum to total");
+        assert_eq!(sauths, r.pac_auths, "{name}: per-site auths don't sum to total");
+    }
+}

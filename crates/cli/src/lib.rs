@@ -6,12 +6,26 @@
 //! rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive]
 //!                    [--backend pac|mac|interp|compiled]
 //!                    [--opt none|block|cfg] [--stats] [--trace out.jsonl]
-//! rsti profile <file.mc> [--mech ...] [--backend ...] [--opt none|block|cfg] [--trace out.jsonl]
+//! rsti profile <file.mc> [--mech ...] [--backend ...] [--opt none|block|cfg]
+//!                        [--attr] [--top N] [--flame out.folded] [--chrome out.json]
+//!                        [--trace out.jsonl]
+//! rsti report [--out DIR] [--top N] [--history reports/bench_history.jsonl]
 //! rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
 //! rsti instrument <file.mc> [--mech ...]        # dump instrumented IR
 //! rsti equivalence <file.mc>                    # Table 3 row for a file
-//! rsti fuzz [--seeds N] [--start S] [--minimize] [--corpus DIR]
+//! rsti fuzz [--seeds N] [--start S] [--attr] [--minimize] [--corpus DIR]
 //! ```
+//!
+//! `profile --attr` turns on the deterministic attribution profiler:
+//! per-function exclusive cycle/instruction/check accounting, per-site
+//! check stats, and sampled call paths. `--flame` writes the folded
+//! stacks (inferno/flamegraph.pl input); `--chrome` writes a Chrome
+//! `chrome://tracing` / Perfetto trace of the pipeline phases.
+//!
+//! `report` runs the nbench + NGINX workload mix under every mechanism
+//! with attribution on and renders `reports/hotspots.md` — the
+//! per-function app/PAC/pp cycle split — plus a trajectory diff of the
+//! last two `reports/bench_history.jsonl` entries.
 //!
 //! `fuzz` runs the differential campaign from `rsti-fuzz`: every seed's
 //! program must behave identically under the baseline and every
@@ -103,6 +117,13 @@ pub fn run_cli(args: &[String]) -> (i32, String) {
             Err(e) => (1, format!("error: {e}\n{USAGE}")),
         };
     }
+    // `report` also takes no input file: it runs the built-in workload mix.
+    if args.first().map(String::as_str) == Some("report") {
+        return match cmd_report(args) {
+            Ok(out) => (0, out),
+            Err(e) => (1, format!("error: {e}\n{USAGE}")),
+        };
+    }
     match dispatch(args) {
         Ok(out) => (0, out),
         Err(e) => (1, format!("error: {e}\n{USAGE}")),
@@ -141,6 +162,10 @@ fn cmd_fuzz(args: &[String]) -> Result<(i32, String), String> {
     // oracle matrix itself, so `pac`/`mac` are accepted but irrelevant.)
     let (_enforce, exec) = parse_backends(args)?;
     rsti_fuzz::set_exec_oracle(exec != Some(rsti_vm::ExecBackend::Interp));
+    // `--attr` runs every oracle VM with the attribution profiler on: the
+    // verdicts must not change (inertness), and the exec oracle then also
+    // diffs the engines' profiles on every generated program.
+    rsti_fuzz::set_attr_profile(args.iter().any(|a| a == "--attr"));
     let corpus_dir = flag_value(args, "--corpus");
 
     let report = rsti_fuzz::run_campaign(&cfg);
@@ -187,18 +212,28 @@ fn cmd_fuzz(args: &[String]) -> Result<(i32, String), String> {
 const USAGE: &str = "\
 usage:
   rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--stats] [--trace out.jsonl]
-  rsti profile <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--trace out.jsonl]
+  rsti profile <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--attr] [--top N] [--flame out.folded] [--chrome out.json] [--trace out.jsonl]
 
   --optimize is shorthand for --opt cfg (the full pipeline).
   --backend selects the enforcement scheme (pac|mac) or the execution
   engine (interp|compiled); repeat the flag to set both axes.
+  profile --attr adds per-function/per-check-site attribution tables;
+  --flame writes folded call stacks (flamegraph.pl input, needs --attr);
+  --chrome writes a Chrome/Perfetto trace of the pipeline phases.
+  rsti report [--out DIR] [--top N] [--history reports/bench_history.jsonl]
+
+  report runs the nbench+NGINX mix under every mechanism with attribution
+  on and writes DIR/hotspots.md (default reports/): the per-function
+  app/PAC/pp cycle split plus a diff of the last two bench-history entries.
   rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
   rsti instrument <file.mc> [--mech stwc|stc|stl|parts]
   rsti equivalence <file.mc>
-  rsti fuzz [--seeds N] [--start S] [--backend interp|compiled] [--minimize] [--corpus DIR] [--trace out.jsonl]
+  rsti fuzz [--seeds N] [--start S] [--backend interp|compiled] [--attr] [--minimize] [--corpus DIR] [--trace out.jsonl]
 
   fuzz cross-checks the compiled engine against the interpreter on every
-  run; --backend interp opts out (interpreter-only campaign).
+  run; --backend interp opts out (interpreter-only campaign). --attr runs
+  every oracle VM with the attribution profiler on (verdicts must not
+  change; engine profiles must agree).
   RSTI_TRACE=<path> in the environment is equivalent to --trace <path>.
 ";
 
@@ -318,6 +353,255 @@ fn render_audit(out: &mut String, r: &ExecResult) {
     }
 }
 
+/// `--top N` (default 10): how many rows the attribution tables show.
+fn parse_top(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--top") {
+        Some(s) => s.parse().map_err(|_| format!("bad --top value `{s}`")),
+        None => Ok(10),
+    }
+}
+
+/// Renders the per-function and per-check-site attribution tables.
+fn render_attr_tables(out: &mut String, p: &rsti_vm::AttrProfile, top: usize) {
+    let _ = writeln!(
+        out,
+        "attribution: sampling every {} cycles, {} call-stack sample(s)",
+        p.sample_every, p.samples
+    );
+    let _ = writeln!(out, "top functions by exclusive cycles:");
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8} {:>12} {:>12} {:>8} {:>10} {:>8} {:>6}",
+        "function", "calls", "cycles", "insts", "auths", "pac-cyc", "pp-cyc", "chk%"
+    );
+    for &i in p.ranked_funcs().iter().take(top) {
+        let f = &p.funcs[i];
+        let chk = f.pac_cycles + f.pp_cycles;
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} {:>12} {:>12} {:>8} {:>10} {:>8} {:>5.1}%",
+            f.name,
+            f.calls,
+            f.cycles,
+            f.insts,
+            f.pac_auths,
+            f.pac_cycles,
+            f.pp_cycles,
+            chk as f64 / f.cycles.max(1) as f64 * 100.0
+        );
+    }
+    let mut sites: Vec<&rsti_vm::SiteAttr> = p.sites.iter().filter(|s| s.execs > 0).collect();
+    sites.sort_by(|a, b| b.cycles.cmp(&a.cycles).then_with(|| a.site.id.cmp(&b.site.id)));
+    if !sites.is_empty() {
+        let _ = writeln!(out, "top check sites by cycles:");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:<12} {:>5} {:>10} {:>10} {:>8} {:>8}",
+            "site", "kind", "line", "execs", "cycles", "signs", "auths"
+        );
+        for s in sites.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:<12} {:>5} {:>10} {:>10} {:>8} {:>8}",
+                s.site.label(),
+                s.site.kind,
+                s.site.line,
+                s.execs,
+                s.cycles,
+                s.signs,
+                s.auths
+            );
+        }
+    }
+}
+
+/// Extracts `"key": <number>` from one line of hand-rolled JSON.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let rest = line[i..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One aggregated hotspot row for the report: a function in one workload.
+struct HotRow {
+    name: String,
+    calls: u64,
+    cycles: u64,
+    pac_cycles: u64,
+    pp_cycles: u64,
+}
+
+/// The `report` subcommand: runs the nbench + NGINX mix under every
+/// mechanism with attribution on, writes `<out>/hotspots.md` (per-function
+/// app/PAC/pp cycle split, top check sites, bench-history diff), and
+/// returns the rendered report.
+///
+/// # Errors
+/// Returns usage errors and I/O failures writing the report.
+fn cmd_report(args: &[String]) -> Result<String, String> {
+    let top = parse_top(args)?;
+    let out_dir = flag_value(args, "--out").unwrap_or("reports");
+    let history = flag_value(args, "--history").unwrap_or("reports/bench_history.jsonl");
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# Execution hotspots — nbench + NGINX mix\n");
+    let _ = writeln!(
+        md,
+        "Generated by `rsti report` (deterministic: model cycles, not wall time).\n\
+         Exclusive per-function cycles split into *app* (ordinary execution),\n\
+         *PAC* (`pac`/`aut`/`xpac` instructions), and *pp* (`pp_*` metadata\n\
+         checks); top {top} functions per mechanism ranked by check-cycle\n\
+         share (PAC + pp). Full pipeline (`--opt cfg`).\n"
+    );
+
+    for mech in Mechanism::ALL {
+        let mut rows: Vec<HotRow> = Vec::new();
+        let (mut tot, mut pac, mut pp) = (0u64, 0u64, 0u64);
+        let mut stwc_sites: Vec<rsti_vm::SiteAttr> = Vec::new();
+        let ws: Vec<_> =
+            rsti_workloads::nbench().into_iter().chain(rsti_workloads::nginx()).collect();
+        for w in &ws {
+            let mut m = w.module();
+            rsti_core::inline_leaf_functions(&mut m, 96);
+            let mut p = rsti_core::instrument(&m, mech);
+            rsti_core::optimize_program_at(&mut p, OptLevel::Cfg);
+            let img = Image::from_instrumented(&p).with_attr();
+            let mut vm = Vm::new(&img);
+            vm.set_fuel(200_000_000);
+            let r = vm.run();
+            if !matches!(r.status, Status::Exited(0)) {
+                return Err(format!("{}/{}: {:?}", w.name, mech.name(), r.status));
+            }
+            let prof = r.attr.expect("attribution profile");
+            for &i in &prof.ranked_funcs() {
+                let f = &prof.funcs[i];
+                tot += f.cycles;
+                pac += f.pac_cycles;
+                pp += f.pp_cycles;
+                rows.push(HotRow {
+                    name: format!("{}/{}", w.name, f.name),
+                    calls: f.calls,
+                    cycles: f.cycles,
+                    pac_cycles: f.pac_cycles,
+                    pp_cycles: f.pp_cycles,
+                });
+            }
+            if mech == Mechanism::Stwc {
+                stwc_sites.extend(prof.sites.iter().filter(|s| s.execs > 0).cloned());
+            }
+        }
+        rows.sort_by(|a, b| {
+            (b.pac_cycles + b.pp_cycles)
+                .cmp(&(a.pac_cycles + a.pp_cycles))
+                .then_with(|| b.cycles.cmp(&a.cycles))
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        let pct = |x: u64| x as f64 / tot.max(1) as f64 * 100.0;
+        let _ = writeln!(md, "## {}\n", mech.name());
+        let _ = writeln!(
+            md,
+            "Mix totals: {tot} cycles — app {} ({:.1}%), PAC {pac} ({:.1}%), pp {pp} ({:.1}%).\n",
+            tot - pac - pp,
+            pct(tot - pac - pp),
+            pct(pac),
+            pct(pp)
+        );
+        let _ = writeln!(md, "| function | calls | cycles | app | pac | pp | check share |");
+        let _ = writeln!(md, "|---|---:|---:|---:|---:|---:|---:|");
+        for r in rows.iter().take(top) {
+            let chk = r.pac_cycles + r.pp_cycles;
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {} | {} | {} | {:.1}% |",
+                r.name,
+                r.calls,
+                r.cycles,
+                r.cycles - chk,
+                r.pac_cycles,
+                r.pp_cycles,
+                chk as f64 / r.cycles.max(1) as f64 * 100.0
+            );
+        }
+        let _ = writeln!(md);
+        if mech == Mechanism::Stwc {
+            stwc_sites
+                .sort_by(|a, b| b.cycles.cmp(&a.cycles).then_with(|| a.site.id.cmp(&b.site.id)));
+            let _ = writeln!(md, "### Top check sites ({})\n", mech.name());
+            let _ = writeln!(md, "| site | kind | line | execs | cycles | auths |");
+            let _ = writeln!(md, "|---|---|---:|---:|---:|---:|");
+            for s in stwc_sites.iter().take(top) {
+                let _ = writeln!(
+                    md,
+                    "| {} | {} | {} | {} | {} | {} |",
+                    s.site.label(),
+                    s.site.kind,
+                    s.site.line,
+                    s.execs,
+                    s.cycles,
+                    s.auths
+                );
+            }
+            let _ = writeln!(md);
+        }
+    }
+
+    let _ = writeln!(md, "## Bench trajectory\n");
+    match std::fs::read_to_string(history) {
+        Ok(body) => {
+            let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+            if let Some(last) = lines.last() {
+                let field = |k| json_num(last, k);
+                let _ = writeln!(
+                    md,
+                    "Last `{history}` entry: interp {:.0} insts/s, compiled {:.0} \
+                     insts/s (x{:.2}), telemetry cost {:.2}% (compiled {:.2}%), \
+                     attr-on cost {:.2}%.",
+                    field("insts_per_sec").unwrap_or(0.0),
+                    field("compiled_insts_per_sec").unwrap_or(0.0),
+                    field("compiled_speedup_vs_interp").unwrap_or(0.0),
+                    field("telemetry_enabled_cost_pct").unwrap_or(0.0),
+                    field("compiled_telemetry_cost_pct").unwrap_or(0.0),
+                    field("attr_cost_pct").unwrap_or(0.0),
+                );
+                if lines.len() >= 2 {
+                    let prev = lines[lines.len() - 2];
+                    let delta = |k: &str| -> Option<f64> {
+                        let (p, l) = (json_num(prev, k)?, json_num(last, k)?);
+                        (p > 0.0).then(|| (l / p - 1.0) * 100.0)
+                    };
+                    let _ = writeln!(
+                        md,
+                        "Vs previous entry: interp {:+.1}%, compiled {:+.1}% \
+                         (wall-clock, machine-dependent).",
+                        delta("insts_per_sec").unwrap_or(0.0),
+                        delta("compiled_insts_per_sec").unwrap_or(0.0),
+                    );
+                }
+            } else {
+                let _ = writeln!(md, "`{history}` is empty.");
+            }
+        }
+        Err(_) => {
+            let _ = writeln!(
+                md,
+                "No bench history at `{history}` yet — run \
+                 `cargo run --release -p rsti-bench --bin vm_throughput`."
+            );
+        }
+    }
+
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create `{out_dir}`: {e}"))?;
+    let path = std::path::Path::new(out_dir).join("hotspots.md");
+    std::fs::write(&path, &md).map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+    let mut out = md;
+    let _ = writeln!(out, "wrote {}", path.display());
+    Ok(out)
+}
+
 fn dispatch(args: &[String]) -> Result<String, String> {
     let cmd = args.first().ok_or("missing command")?;
     let file = args.get(1).ok_or("missing <file.mc>")?;
@@ -402,8 +686,18 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         }
         "profile" => {
             let level = parse_opt_level(args)?;
+            let attr = args.iter().any(|a| a == "--attr");
+            let top = parse_top(args)?;
+            let flame = flag_value(args, "--flame");
+            let chrome = flag_value(args, "--chrome");
+            if flame.is_some() && !attr {
+                return Err("--flame needs --attr (folded stacks come from the profiler)".into());
+            }
             let (img, _stats) = build_image(&module, choice, level);
-            let img = apply_backend(img, args)?;
+            let mut img = apply_backend(img, args)?;
+            if attr {
+                img = img.with_attr();
+            }
             let mut vm = Vm::new(&img);
             let r = vm.run();
             let mut out = String::new();
@@ -417,8 +711,23 @@ fn dispatch(args: &[String]) -> Result<String, String> {
                 }
             }
             render_audit(&mut out, &r);
+            if let Some(p) = &r.attr {
+                let _ = writeln!(out);
+                render_attr_tables(&mut out, p, top);
+                if let Some(path) = flame {
+                    std::fs::write(path, p.folded_lines())
+                        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                    let _ = writeln!(out, "folded stacks written: {path}");
+                }
+            }
             let _ = writeln!(out);
             out.push_str(&tel.snapshot().render_tables());
+            if let Some(path) = chrome {
+                let events = rsti_telemetry::phase_trace_events(&tel.snapshot());
+                std::fs::write(path, rsti_telemetry::chrome_trace(&events))
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                let _ = writeln!(out, "chrome trace written: {path}");
+            }
             Ok(out)
         }
         "analyze" => {
@@ -773,6 +1082,107 @@ mod tests {
         assert!(out.contains("auths_inserted"), "{out}");
         assert!(out.contains("classes_stwc"), "{out}");
         assert!(out.contains("vm_pac_signs"), "{out}");
+    }
+
+    #[test]
+    fn profile_attr_renders_tables_and_exports() {
+        let f = write_temp("rsti_cli_attr.mc", PROG);
+        let flame = std::env::temp_dir().join("rsti_cli_attr.folded");
+        let chrome = std::env::temp_dir().join("rsti_cli_attr_trace.json");
+        let (code, out) = run_cli(&[
+            "profile".into(),
+            f.clone(),
+            "--attr".into(),
+            "--top".into(),
+            "5".into(),
+            "--flame".into(),
+            flame.to_string_lossy().into_owned(),
+            "--chrome".into(),
+            chrome.to_string_lossy().into_owned(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("attribution: sampling every"), "{out}");
+        assert!(out.contains("top functions by exclusive cycles"), "{out}");
+        assert!(out.contains("top check sites by cycles"), "{out}");
+        assert!(out.contains("main"), "{out}");
+        // Folded stacks: `frame;frame count` lines (flamegraph.pl input).
+        let folded = std::fs::read_to_string(&flame).unwrap();
+        for line in folded.lines() {
+            let (path, count) = line.rsplit_once(' ').expect("folded line shape");
+            assert!(!path.is_empty() && count.parse::<u64>().is_ok(), "{line}");
+        }
+        // Chrome trace: the stable envelope plus the pipeline phases.
+        let trace = std::fs::read_to_string(&chrome).unwrap();
+        assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+        assert!(trace.contains("\"ph\":\"X\""), "{trace}");
+        assert!(trace.contains("vm_run"), "{trace}");
+
+        // --flame without --attr is a usage error.
+        let (code, out) = run_cli(&[
+            "profile".into(),
+            f,
+            "--flame".into(),
+            "/tmp/x.folded".into(),
+        ]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--flame needs --attr"), "{out}");
+    }
+
+    #[test]
+    fn report_writes_hotspots_markdown() {
+        let dir = std::env::temp_dir().join("rsti_cli_report");
+        let hist = std::env::temp_dir().join("rsti_cli_report_hist.jsonl");
+        std::fs::write(
+            &hist,
+            "{\"schema\":1,\"insts_per_sec\":1000,\"compiled_insts_per_sec\":3000,\
+             \"compiled_speedup_vs_interp\":3.0,\"telemetry_enabled_cost_pct\":2.0,\
+             \"compiled_telemetry_cost_pct\":1.0,\"attr_cost_pct\":4.5}\n\
+             {\"schema\":1,\"insts_per_sec\":1100,\"compiled_insts_per_sec\":3300,\
+             \"compiled_speedup_vs_interp\":3.0,\"telemetry_enabled_cost_pct\":2.0,\
+             \"compiled_telemetry_cost_pct\":1.0,\"attr_cost_pct\":4.5}\n",
+        )
+        .unwrap();
+        let (code, out) = run_cli(&[
+            "report".into(),
+            "--out".into(),
+            dir.to_string_lossy().into_owned(),
+            "--top".into(),
+            "5".into(),
+            "--history".into(),
+            hist.to_string_lossy().into_owned(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        let md = std::fs::read_to_string(dir.join("hotspots.md")).unwrap();
+        assert!(md.contains("# Execution hotspots"), "{md}");
+        for mech in ["RSTI-STWC", "RSTI-STC", "RSTI-STL", "PARTS"] {
+            assert!(md.contains(&format!("## {mech}")), "missing section {mech}: {md}");
+        }
+        assert!(md.contains("| function | calls | cycles | app | pac | pp | check share |"), "{md}");
+        assert!(md.contains("Top check sites"), "{md}");
+        // History diff: both the last entry and the vs-previous delta.
+        assert!(md.contains("interp 1100 insts/s"), "{md}");
+        assert!(md.contains("Vs previous entry: interp +10.0%"), "{md}");
+    }
+
+    #[test]
+    fn json_num_extracts_numbers() {
+        let line = "{\"a\":1,\"b\": -2.5, \"c\":1.2e3,\"s\":\"x\"}";
+        assert_eq!(json_num(line, "a"), Some(1.0));
+        assert_eq!(json_num(line, "b"), Some(-2.5));
+        assert_eq!(json_num(line, "c"), Some(1200.0));
+        assert_eq!(json_num(line, "s"), None);
+        assert_eq!(json_num(line, "missing"), None);
+    }
+
+    #[test]
+    fn fuzz_smoke_with_profiler_is_clean() {
+        // Satellite guarantee: the attribution profiler never changes an
+        // oracle verdict — a profiled campaign stays green.
+        let (code, out) =
+            run_cli(&["fuzz".into(), "--seeds".into(), "2".into(), "--attr".into()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("0 oracle violation(s)"), "{out}");
+        rsti_fuzz::set_attr_profile(false);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod optimize;
 pub mod replay;
 pub mod instrument;
 pub mod ptr2ptr;
+pub mod sites;
 pub mod sti;
 pub mod storage;
 
@@ -47,5 +48,6 @@ pub use optimize::{
 };
 pub use replay::{recommend, replay_surface, ReplaySurface, DEFAULT_ECV_THRESHOLD};
 pub use ptr2ptr::{plan_pp, PpCensus, PpPlan, PpSite};
+pub use sites::{check_kind, check_sites, pac_site_name, CheckSite};
 pub use sti::{analyze, collect_facts, Mechanism, PointerVar, RstiClass, StiAnalysis, StiFacts};
 pub use storage::{storage_of_addr, DefMap, StorageKey};

@@ -200,6 +200,15 @@ thread_local! {
     /// campaign. Thread-local because parallel in-process campaigns (the
     /// test harness) must not see each other's choice.
     static EXEC_ORACLE: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
+
+    /// Whether every VM run in the oracle matrix carries the attribution
+    /// profiler (`rsti fuzz --attr`). Off by default — the campaign then
+    /// exercises the production configuration. On, it pins the profiler's
+    /// inertness guarantee across the whole generated-program space: the
+    /// differential verdicts must be unchanged, and (with the exec oracle)
+    /// the interpreter and compiled engines must produce identical
+    /// profiles, since [`rsti_vm::ExecResult`] equality covers `attr`.
+    static ATTR_PROFILE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 /// Enables or disables the compiled-engine oracle column for campaigns on
@@ -208,9 +217,25 @@ pub fn set_exec_oracle(on: bool) {
     EXEC_ORACLE.with(|c| c.set(on));
 }
 
+/// Enables or disables the attribution profiler on every oracle VM run on
+/// the current thread (the `--attr` fuzz knob; see [`ATTR_PROFILE`]).
+pub fn set_attr_profile(on: bool) {
+    ATTR_PROFILE.with(|c| c.set(on));
+}
+
 /// Runs one image under both engines, diffs the complete [`ExecResult`]s
 /// (the `exec=compiled` oracle column), and returns the interpreter's view.
 fn run_image(img: &Image, config: &str) -> Result<(Status, Vec<String>), FailureKind> {
+    // With the `--attr` knob on, every run carries the profiler (a small
+    // sampling period so short generated programs still sample); the
+    // verdicts below must be exactly what the unprofiled run produces.
+    let attr_img;
+    let img = if ATTR_PROFILE.with(|c| c.get()) {
+        attr_img = img.clone().with_attr_sampling(256);
+        &attr_img
+    } else {
+        img
+    };
     let r = catch_unwind(AssertUnwindSafe(|| {
         let mut vm = Vm::new(img);
         vm.set_fuel(FUEL);
@@ -255,6 +280,9 @@ fn backend_diff(i: &ExecResult, c: &ExecResult) -> String {
     }
     if i.audit != c.audit {
         return format!("audit: {} vs {} records", i.audit.len(), c.audit.len());
+    }
+    if i.attr != c.attr {
+        return "attr: attribution profiles diverge".to_string();
     }
     format!("field-level mismatch: interp {i:?} vs compiled {c:?}")
 }

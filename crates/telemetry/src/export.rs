@@ -1,0 +1,393 @@
+//! Profile export formats: log-bucketed histograms, inferno-compatible
+//! folded stacks, and Chrome trace-event JSON.
+//!
+//! The attribution profiler (see `rsti-vm`) produces deterministic
+//! model-cycle data; this module turns that data (and the phase spans the
+//! collector already keeps) into the two interchange formats every
+//! profiling UI understands:
+//!
+//! * **Folded stacks** — one line per unique call path,
+//!   `frame0;frame1;frame2 <count>`, the input format of Brendan Gregg's
+//!   `flamegraph.pl` and the `inferno` toolchain;
+//! * **Chrome trace events** — the `chrome://tracing` / Perfetto JSON
+//!   array of `"ph":"X"` complete events.
+//!
+//! Both serializers are hand-rolled (the workspace is dependency-free by
+//! design) and golden-tested: the emitted field names and line syntax are
+//! a public contract.
+
+use crate::{json_str, TelemetrySnapshot};
+
+// ---------------------------------------------------------------------------
+// Log-bucketed histogram
+// ---------------------------------------------------------------------------
+
+/// Number of power-of-two buckets: bucket `i` holds values `v` with
+/// `floor(log2(v)) == i - 1`; bucket 0 holds `v == 0`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log-bucketed (power-of-two) histogram of `u64` samples.
+///
+/// Bucket `0` counts zero-valued samples; bucket `i >= 1` counts samples in
+/// `[2^(i-1), 2^i)`. 64 + 1 buckets cover the whole `u64` range, so
+/// [`Histogram::record`] never saturates or drops. The shape is the classic
+/// HdrHistogram-lite used for latency/cycle distributions where relative
+/// error per bucket (at most 2x) beats unbounded memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Lower bound of bucket `i` (inclusive).
+    pub fn bucket_lo(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1 => 1,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket counts, index 0 first.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate quantile: the lower bound of the first bucket whose
+    /// cumulative count reaches `q * count` (`q` in `[0, 1]`). The answer is
+    /// within one power of two of the true quantile — exactly the bucket
+    /// resolution.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_lo(i);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Serializes as one JSON object with stable field names
+    /// (`count`, `sum`, `min`, `max`, `buckets` — non-empty buckets only,
+    /// as `[bucket_lo, count]` pairs).
+    pub fn to_json(&self) -> String {
+        let pairs: Vec<String> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| format!("[{},{}]", Self::bucket_lo(i), n))
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max,
+            pairs.join(",")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Folded stacks (inferno / flamegraph.pl input)
+// ---------------------------------------------------------------------------
+
+/// Renders `(call path, sample count)` pairs as folded-stack lines:
+/// `root;child;leaf <count>`, one per line, lexicographically sorted so the
+/// output is deterministic regardless of map iteration order. Empty paths
+/// and zero counts are skipped. Frame names have `;`, whitespace, and
+/// newlines replaced by `_` — the folded format reserves those characters
+/// as separators.
+pub fn to_folded<S: AsRef<str>>(stacks: &[(Vec<S>, u64)]) -> String {
+    let mut lines: Vec<String> = stacks
+        .iter()
+        .filter(|(path, count)| !path.is_empty() && *count > 0)
+        .map(|(path, count)| {
+            let joined: Vec<String> = path.iter().map(|f| fold_frame(f.as_ref())).collect();
+            format!("{} {}", joined.join(";"), count)
+        })
+        .collect();
+    lines.sort_unstable();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+fn fold_frame(name: &str) -> String {
+    name.chars()
+        .map(|c| if c == ';' || c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace events
+// ---------------------------------------------------------------------------
+
+/// One Chrome trace "complete" event (`"ph":"X"`). Timestamps and
+/// durations are in microseconds per the trace-event spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (shown on the timeline slice).
+    pub name: String,
+    /// Category string (`rsti.phase`, `rsti.func`, ...).
+    pub cat: String,
+    /// Start timestamp, microseconds.
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Thread lane the slice renders in.
+    pub tid: u64,
+    /// Extra `args` entries, already-JSON-encoded values keyed by name.
+    pub args: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    fn to_json(&self) -> String {
+        let args: Vec<String> =
+            self.args.iter().map(|(k, v)| format!("{}:{}", json_str(k), v)).collect();
+        format!(
+            "{{\"name\":{},\"cat\":{},\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+            json_str(&self.name),
+            json_str(&self.cat),
+            self.ts_us,
+            self.dur_us,
+            self.tid,
+            args.join(",")
+        )
+    }
+}
+
+/// Wraps trace events as the Chrome trace-event JSON object
+/// (`{"traceEvents":[...],"displayTimeUnit":"ms"}`), loadable in
+/// `chrome://tracing` and Perfetto.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let body: Vec<String> = events.iter().map(TraceEvent::to_json).collect();
+    format!("{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}", body.join(","))
+}
+
+/// Converts the collector's accumulated phase spans into trace events.
+///
+/// The collector keeps aggregate span data (total ns + call count per
+/// phase), not individual timestamped spans, so each phase becomes one
+/// slice laid end-to-end in [`crate::Phase::ALL`] (pipeline) order on
+/// thread lane 1 — a duration-faithful, order-faithful rendering rather
+/// than a wall-clock-faithful one. `args.calls` carries the span count.
+/// Zero-call phases are skipped.
+pub fn phase_trace_events(snap: &TelemetrySnapshot) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    let mut ts = 0.0f64;
+    for p in &snap.phases {
+        if p.calls == 0 {
+            continue;
+        }
+        let dur = p.total_ns as f64 / 1_000.0;
+        events.push(TraceEvent {
+            name: p.phase.to_string(),
+            cat: "rsti.phase".to_string(),
+            ts_us: ts,
+            dur_us: dur,
+            tid: 1,
+            args: vec![("calls".to_string(), p.calls.to_string())],
+        });
+        ts += dur;
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_lo(2), 2);
+        assert_eq!(Histogram::bucket_lo(64), 1 << 63);
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        // p50 of 6 samples -> rank 3 -> the [2,4) bucket.
+        assert_eq!(h.quantile(0.5), 2);
+        // p100 lands in the [512,1024) bucket.
+        assert_eq!(h.quantile(1.0), 512);
+        let mut other = Histogram::new();
+        other.record(5000);
+        h.merge(&other);
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max(), 5000);
+    }
+
+    /// Golden: histogram JSON field names are a public contract.
+    #[test]
+    fn histogram_json_field_names_are_stable() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        let j = h.to_json();
+        assert_eq!(j, "{\"count\":2,\"sum\":6,\"min\":3,\"max\":3,\"buckets\":[[2,2]]}");
+    }
+
+    /// Golden: folded-stack line syntax (`a;b;c <count>\n`, sorted).
+    #[test]
+    fn folded_stack_line_syntax_is_stable() {
+        let stacks = vec![
+            (vec!["main", "loop", "leaf"], 7u64),
+            (vec!["main"], 3),
+            (vec!["main", "aux"], 0),   // dropped: zero count
+            (Vec::<&str>::new(), 5),    // dropped: empty path
+        ];
+        let out = to_folded(&stacks);
+        assert_eq!(out, "main 3\nmain;loop;leaf 7\n");
+    }
+
+    #[test]
+    fn folded_frames_escape_separator_characters() {
+        let stacks = vec![(vec!["a;b", "c d"], 1u64)];
+        assert_eq!(to_folded(&stacks), "a_b;c_d 1\n");
+    }
+
+    /// Golden: Chrome trace-event JSON field names are a public contract
+    /// (`traceEvents`, `name`/`cat`/`ph`/`ts`/`dur`/`pid`/`tid`/`args`).
+    #[test]
+    fn chrome_trace_field_names_are_stable() {
+        let ev = TraceEvent {
+            name: "vm_run".into(),
+            cat: "rsti.phase".into(),
+            ts_us: 0.0,
+            dur_us: 1.5,
+            tid: 1,
+            args: vec![("calls".into(), "2".into())],
+        };
+        let j = chrome_trace(&[ev]);
+        assert_eq!(
+            j,
+            "{\"traceEvents\":[{\"name\":\"vm_run\",\"cat\":\"rsti.phase\",\"ph\":\"X\",\
+             \"ts\":0.000,\"dur\":1.500,\"pid\":1,\"tid\":1,\"args\":{\"calls\":2}}],\
+             \"displayTimeUnit\":\"ms\"}"
+        );
+    }
+
+    #[test]
+    fn phase_trace_events_lay_spans_end_to_end() {
+        let c = crate::Collector::new();
+        c.enable();
+        {
+            let _a = c.span(crate::Phase::Parse);
+        }
+        {
+            let _b = c.span(crate::Phase::VmRun);
+        }
+        let events = phase_trace_events(&c.snapshot());
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "parse");
+        assert_eq!(events[1].name, "vm_run");
+        // Second slice starts where the first ends.
+        assert!((events[1].ts_us - events[0].dur_us).abs() < 1e-9);
+        let j = chrome_trace(&events);
+        assert!(j.starts_with("{\"traceEvents\":["), "{j}");
+    }
+}

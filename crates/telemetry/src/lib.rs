@@ -29,6 +29,12 @@
 
 #![warn(missing_docs)]
 
+pub mod export;
+
+pub use export::{
+    chrome_trace, phase_trace_events, to_folded, Histogram, TraceEvent, HIST_BUCKETS,
+};
+
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -156,6 +162,10 @@ pub enum CounterId {
     VmTraps,
     /// Runs that ended in an RSTI detection (the violation audit).
     VmViolations,
+    /// Finished runs executed with the attribution profiler enabled.
+    VmAttrRuns,
+    /// Deterministic call-stack samples taken by the attribution profiler.
+    VmAttrSamples,
     // -- VM executed instructions, by opcode class --
     /// Memory instructions executed (load/store/alloca).
     VmInstMem,
@@ -180,7 +190,7 @@ pub enum CounterId {
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [CounterId; 33] = [
+    pub const ALL: [CounterId; 35] = [
         CounterId::SignsInserted,
         CounterId::AuthsInserted,
         CounterId::AuthsElidedBlock,
@@ -205,6 +215,8 @@ impl CounterId {
         CounterId::VmAuthFailures,
         CounterId::VmTraps,
         CounterId::VmViolations,
+        CounterId::VmAttrRuns,
+        CounterId::VmAttrSamples,
         CounterId::VmInstMem,
         CounterId::VmInstArith,
         CounterId::VmInstCall,
@@ -243,6 +255,8 @@ impl CounterId {
             CounterId::VmAuthFailures => "vm_auth_failures",
             CounterId::VmTraps => "vm_traps",
             CounterId::VmViolations => "vm_violations",
+            CounterId::VmAttrRuns => "vm_attr_runs",
+            CounterId::VmAttrSamples => "vm_attr_samples",
             CounterId::VmInstMem => "vm_inst_mem",
             CounterId::VmInstArith => "vm_inst_arith",
             CounterId::VmInstCall => "vm_inst_call",
@@ -809,7 +823,8 @@ mod tests {
             "classes_parts", "qarma_calls", "pac_memo_hits", "sched_memo_hits",
             "sched_memo_misses", "vm_runs_interp", "vm_runs_compiled",
             "vm_compiled_blocks", "vm_pac_signs", "vm_pac_auths", "vm_auth_failures",
-            "vm_traps", "vm_violations", "vm_inst_mem", "vm_inst_arith", "vm_inst_call",
+            "vm_traps", "vm_violations", "vm_attr_runs", "vm_attr_samples",
+            "vm_inst_mem", "vm_inst_arith", "vm_inst_call",
             "vm_inst_pac", "vm_inst_branch", "vm_inst_other", "fuzz_seeds_run",
             "fuzz_failures", "fuzz_minimize_attempts",
         ];

@@ -74,6 +74,11 @@ pub(crate) struct OpCharge {
     cost: u64,
     /// Opcode class index, for the telemetry-enabled slow path.
     class: usize,
+    /// Check-site id for PAC-family ops ([`NO_SITE`] otherwise), assigned
+    /// in the same `(func, block, inst)` scan order as
+    /// `rsti_core::check_sites` — the attribution slow path records per-
+    /// site stats against the identical table the interpreter looks up.
+    site: u32,
 }
 
 /// A compiled terminator. Branches are direct-threaded; everything else
@@ -415,6 +420,10 @@ pub(crate) fn compile_module(img: &Image) -> CompiledModule {
         ty_i64: m.types.i64(),
     };
     let mut n_blocks = 0u64;
+    // Site ids count PAC-family instructions in (func, block, inst) scan
+    // order — externals have no blocks, so skipping them preserves the
+    // `check_sites` numbering.
+    let mut next_site = 0u32;
     let funcs = m
         .funcs
         .iter()
@@ -428,7 +437,7 @@ pub(crate) fn compile_module(img: &Image) -> CompiledModule {
                     .blocks
                     .iter()
                     .enumerate()
-                    .map(|(bi, b)| compile_block(&cx, f, bi, b))
+                    .map(|(bi, b)| compile_block(&cx, f, bi, b, &mut next_site))
                     .collect(),
             }
         })
@@ -440,7 +449,13 @@ pub(crate) fn compile_module(img: &Image) -> CompiledModule {
     }
 }
 
-fn compile_block(cx: &Cx<'_>, f: &Function, bi: usize, b: &BasicBlock) -> CompiledBlock {
+fn compile_block(
+    cx: &Cx<'_>,
+    f: &Function,
+    bi: usize,
+    b: &BasicBlock,
+    next_site: &mut u32,
+) -> CompiledBlock {
     let mut ops = Vec::with_capacity(b.insts.len());
     let mut charge = Vec::with_capacity(b.insts.len());
     let mut cost_prefix = Vec::with_capacity(b.insts.len() + 1);
@@ -451,7 +466,15 @@ fn compile_block(cx: &Cx<'_>, f: &Function, bi: usize, b: &BasicBlock) -> Compil
         total += cost;
         cost_prefix.push(total);
         ops.push(compile_inst(cx, f, bi, &node.inst, i + 1));
-        charge.push(OpCharge { cost, class: opcode_class(&node.inst) });
+        let class = opcode_class(&node.inst);
+        let site = if class == OPCLASS_PAC {
+            let s = *next_site;
+            *next_site += 1;
+            s
+        } else {
+            NO_SITE
+        };
+        charge.push(OpCharge { cost, class, site });
     }
     let term = match &b.term {
         Terminator::Br(bb) => CompiledTerm::Br(bb.0),
@@ -1355,9 +1378,14 @@ impl<'img> Vm<'img> {
         let mut fblocks = &code.funcs[func].blocks;
         let branch_cost = self.img.cost.branch;
         // Loop-invariant driver state lives in registers: telemetry
-        // tracing cannot toggle mid-run, and the fuel headroom only needs
-        // re-deriving after a slow path charges per op.
+        // tracing and attribution cannot toggle mid-run, and the fuel
+        // headroom only needs re-deriving after a slow path charges per
+        // op. Attribution forces the per-op slow path: it needs the
+        // interpreter's exact charge order (the fast path pre-charges
+        // whole blocks), and that is what makes the two engines attribute
+        // identically.
         let trace = self.trace_enabled;
+        let attr_on = self.attr.is_some();
         let mut budget = self.fuel.saturating_sub(self.insts);
         loop {
             let Some(cb) = fblocks.get(block) else {
@@ -1366,7 +1394,7 @@ impl<'img> Vm<'img> {
             };
             let n = cb.ops.len();
             let remaining = (n - idx) as u64 + 1;
-            if !trace && remaining <= budget {
+            if !trace && !attr_on && remaining <= budget {
                 // Fast path: charge the whole straight-line run *and the
                 // terminator* up front (cycle prefix sums), roll back the
                 // unexecuted suffix on any early exit. Totals match per-op
@@ -1488,6 +1516,7 @@ impl<'img> Vm<'img> {
     #[cold]
     #[inline(never)]
     fn exec_block_slow(&mut self, cb: &CompiledBlock, idx: usize) -> Result<bool, Trap> {
+        let attr_on = self.attr.is_some();
         for (op, charge) in cb.ops[idx..].iter().zip(&cb.charge[idx..]) {
             if self.insts >= self.fuel {
                 return Err(Trap::FuelExhausted);
@@ -1497,7 +1526,29 @@ impl<'img> Vm<'img> {
                 self.opclass[charge.class] += 1;
             }
             self.cycles += charge.cost;
-            match op(self) {
+            // Attribution hooks mirror the interpreter's per-instruction
+            // path (`exec_inst_attr`) exactly: sample check after the
+            // cycle charge, per-site accounting around the op.
+            let ctl = if attr_on {
+                self.attr_maybe_sample();
+                if charge.site != NO_SITE {
+                    let (s0, a0) = (self.pac.sign_count, self.pac.auth_count);
+                    let ctl = op(self);
+                    self.attr_record_site(
+                        charge.site,
+                        charge.cost,
+                        s0,
+                        a0,
+                        matches!(ctl, Control::Trap(_)),
+                    );
+                    ctl
+                } else {
+                    op(self)
+                }
+            } else {
+                op(self)
+            };
+            match ctl {
                 Control::Next => {}
                 Control::Transfer => return Ok(false),
                 Control::Trap(t) => return Err(*t),

@@ -43,8 +43,9 @@ pub mod vm;
 pub use cycles::CostModel;
 pub use mem::{layout, Allocator, MemFault, Memory};
 pub use vm::{
-    func_address, resolve_code_addr, Backend, ExecBackend, ExecResult, ExtEvent, Image, RtVal,
-    RunStop, Status, Trap, Vm, CRITICAL_EXTERNALS, OPCLASS_ORDER, SITE_ORDER,
+    func_address, resolve_code_addr, AttrProfile, Backend, ExecBackend, ExecResult, ExtEvent,
+    FuncAttr, Image, RtVal, RunStop, SiteAttr, Status, Trap, Vm, CRITICAL_EXTERNALS,
+    DEFAULT_ATTR_SAMPLE_EVERY, OPCLASS_ORDER, SITE_ORDER,
 };
 // The audit-record type carried in [`ExecResult::audit`].
 pub use rsti_telemetry::AuditRecord;

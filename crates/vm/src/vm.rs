@@ -20,13 +20,13 @@
 
 use crate::cycles::CostModel;
 use crate::mem::{layout, Allocator, MemFault, Memory};
-use rsti_core::{GlobalSign, InstrumentedProgram, Mechanism};
+use rsti_core::{check_sites, CheckSite, GlobalSign, InstrumentedProgram, Mechanism};
 use rsti_ir::{
     BinOp, CmpOp, FuncId, GlobalInit, Inst, Module, Operand, PacKey, PacSite, Terminator, Type,
     TypeId, TypeLayout, ValueId, VarId,
 };
 use rsti_pac::{KeyId, PacKeys, PacUnit, VaConfig};
-use rsti_telemetry::{AuditRecord, CounterId, Event, Phase};
+use rsti_telemetry::{AuditRecord, CounterId, Event, Histogram, Phase};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -217,6 +217,10 @@ pub struct ExecResult {
     /// Structured audit record for every RSTI detection trap this run —
     /// always collected (a run traps at most once, so this is free).
     pub audit: Vec<AuditRecord>,
+    /// Attribution profile — present only when the image was built with
+    /// [`Image::with_attr`]. Deterministic: interp and compiled runs of
+    /// the same image produce identical profiles (parity-tested).
+    pub attr: Option<Box<AttrProfile>>,
 }
 
 /// Order of [`ExecResult::site_counts`].
@@ -321,6 +325,180 @@ impl ExecResult {
     /// Whether any critical external was reached.
     pub fn reached_critical(&self) -> bool {
         self.events.iter().any(|e| e.critical)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Attribution profiling
+// ---------------------------------------------------------------------------
+
+/// Per-function exclusive attribution: everything charged while this
+/// function's frame was innermost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncAttr {
+    /// Function symbol name.
+    pub name: String,
+    /// Activations (frames pushed).
+    pub calls: u64,
+    /// Exclusive model cycles.
+    pub cycles: u64,
+    /// Exclusive instructions executed.
+    pub insts: u64,
+    /// Dynamic `pac` (sign) operations.
+    pub pac_signs: u64,
+    /// Dynamic `aut` operations.
+    pub pac_auths: u64,
+    /// Runs that trapped while this function was innermost (0 or 1).
+    pub traps: u64,
+    /// Exclusive cycles spent in `pac`/`aut`/`xpac` instructions (summed
+    /// from this function's check sites).
+    pub pac_cycles: u64,
+    /// Exclusive cycles spent in `pp_*` metadata checks.
+    pub pp_cycles: u64,
+    /// Inclusive cycles per completed activation, log-bucketed.
+    pub incl: Histogram,
+}
+
+/// Per-check-site attribution: one PAC-family instruction in the final
+/// module, keyed by its [`CheckSite`] identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteAttr {
+    /// The static site (function/block/instruction/kind/source line).
+    pub site: CheckSite,
+    /// Dynamic executions.
+    pub execs: u64,
+    /// Model cycles charged at this site.
+    pub cycles: u64,
+    /// Sign operations performed here.
+    pub signs: u64,
+    /// Authentications performed here.
+    pub auths: u64,
+    /// Traps raised here (0 or 1 per run).
+    pub traps: u64,
+}
+
+/// The attribution profile of one run: per-function and per-check-site
+/// accumulators plus deterministically sampled folded call stacks.
+///
+/// Everything here is derived from the deterministic cycle model, so two
+/// runs of the same image — under either execution engine — produce
+/// bit-identical profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrProfile {
+    /// Sampling period (model cycles between call-stack samples).
+    pub sample_every: u64,
+    /// Call-stack samples taken.
+    pub samples: u64,
+    /// Per-function accumulators, indexed by [`rsti_ir::FuncId`].
+    pub funcs: Vec<FuncAttr>,
+    /// Per-check-site accumulators, in site-table order.
+    pub sites: Vec<SiteAttr>,
+    /// Sampled call paths (outermost frame first, function names) with
+    /// sample counts, sorted by path.
+    pub folded: Vec<(Vec<String>, u64)>,
+}
+
+impl AttrProfile {
+    /// The profile's folded call stacks in inferno/flamegraph.pl format.
+    pub fn folded_lines(&self) -> String {
+        rsti_telemetry::to_folded(&self.folded)
+    }
+
+    /// Function indices sorted hottest-first by exclusive cycles.
+    pub fn ranked_funcs(&self) -> Vec<usize> {
+        let mut order: Vec<usize> =
+            (0..self.funcs.len()).filter(|&i| self.funcs[i].cycles > 0).collect();
+        order.sort_by(|&a, &b| {
+            self.funcs[b]
+                .cycles
+                .cmp(&self.funcs[a].cycles)
+                .then_with(|| self.funcs[a].name.cmp(&self.funcs[b].name))
+        });
+        order
+    }
+}
+
+/// Default sampling period: fine enough to resolve call paths on the
+/// nbench/NGINX workloads (~hundreds of samples per run), coarse enough
+/// that sampling stays a rounding error next to per-op attribution.
+pub const DEFAULT_ATTR_SAMPLE_EVERY: u64 = 4096;
+
+/// `OpCharge::site` / site-lookup sentinel: not a check site.
+pub(crate) const NO_SITE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SiteStat {
+    execs: u64,
+    cycles: u64,
+    signs: u64,
+    auths: u64,
+    traps: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FuncStat {
+    calls: u64,
+    cycles: u64,
+    insts: u64,
+    signs: u64,
+    auths: u64,
+    traps: u64,
+    incl: Histogram,
+}
+
+/// Per-run attribution state, allocated only when [`Image::attr`] is on.
+///
+/// Attribution observes the run at exactly the points both engines already
+/// share — `push_frame`, the `Ret` arm of `exec_term`, the per-op charge
+/// sites, and `charge_block_transfer` — so the two engines attribute
+/// identically by construction (the compiled driver takes its per-op slow
+/// path under attribution; see `exec_compiled`).
+struct AttrState {
+    /// The static check-site table, in deterministic scan order.
+    sites: Vec<CheckSite>,
+    /// `(func, block, inst)` → site id, the interpreter's lookup. The
+    /// compiled engine bakes the same ids into its `OpCharge` stream.
+    site_map: HashMap<(u32, u32, u32), u32>,
+    site_stats: Vec<SiteStat>,
+    /// Indexed by function id.
+    funcs: Vec<FuncStat>,
+    /// Checkpoint of the run totals at the last frame transition; the
+    /// delta since is charged to the outgoing function.
+    last_cycles: u64,
+    last_insts: u64,
+    last_signs: u64,
+    last_auths: u64,
+    /// Deterministic sampler: a call-stack sample is due each time
+    /// `Vm::cycles` crosses a multiple of `sample_every`.
+    sample_every: u64,
+    next_sample: u64,
+    n_samples: u64,
+    samples: HashMap<Vec<u32>, u64>,
+}
+
+impl AttrState {
+    fn new(module: &Module, sample_every: u64) -> Box<Self> {
+        let sites = check_sites(module);
+        let site_map = sites
+            .iter()
+            .map(|s| ((s.func, s.block, s.inst), s.id))
+            .collect::<HashMap<_, _>>();
+        let n_sites = sites.len();
+        let sample_every = sample_every.max(1);
+        Box::new(AttrState {
+            sites,
+            site_map,
+            site_stats: vec![SiteStat::default(); n_sites],
+            funcs: vec![FuncStat::default(); module.funcs.len()],
+            last_cycles: 0,
+            last_insts: 0,
+            last_signs: 0,
+            last_auths: 0,
+            sample_every,
+            next_sample: sample_every,
+            n_samples: 0,
+            samples: HashMap::new(),
+        })
     }
 }
 
@@ -435,6 +613,14 @@ pub struct Image {
     pub shadow_stack: bool,
     /// Execution engine (default [`ExecBackend::Interp`]).
     pub exec: ExecBackend,
+    /// Attribution profiling: per-function/per-site accounting plus the
+    /// deterministic call-stack sampler. Off by default and provably
+    /// inert — with `false`, runs charge not one extra cycle/inst and the
+    /// VM's only cost is a handful of is-none branches.
+    pub attr: bool,
+    /// Sampling period for the call-path profiler, in model cycles
+    /// (used only while `attr` is on).
+    pub attr_sample_every: u64,
     /// Cache of closure-threaded code, filled on the first compiled run.
     compiled: CompiledCache,
 }
@@ -456,6 +642,21 @@ impl Image {
     /// demonstrate why the paper's §3 assumption matters.
     pub fn without_shadow_stack(mut self) -> Self {
         self.shadow_stack = false;
+        self
+    }
+
+    /// Enables the attribution profiler (builder style) with the default
+    /// sampling period.
+    pub fn with_attr(mut self) -> Self {
+        self.attr = true;
+        self
+    }
+
+    /// Enables the attribution profiler with a custom sampling period in
+    /// model cycles (builder style). `0` is clamped to 1.
+    pub fn with_attr_sampling(mut self, every: u64) -> Self {
+        self.attr = true;
+        self.attr_sample_every = every.max(1);
         self
     }
 
@@ -535,6 +736,8 @@ impl Image {
             backend: Backend::PacInPointer,
             shadow_stack: true,
             exec: ExecBackend::Interp,
+            attr: false,
+            attr_sample_every: DEFAULT_ATTR_SAMPLE_EVERY,
             compiled: CompiledCache::empty(),
         }
     }
@@ -559,6 +762,8 @@ impl Image {
             backend: Backend::PacInPointer,
             shadow_stack: true,
             exec: ExecBackend::Interp,
+            attr: false,
+            attr_sample_every: DEFAULT_ATTR_SAMPLE_EVERY,
             compiled: CompiledCache::empty(),
         }
     }
@@ -596,6 +801,9 @@ struct Frame {
     /// Without a shadow stack: the in-memory slot holding the return
     /// address, and the value it is supposed to contain.
     ret_slot: Option<(u64, u64)>,
+    /// `Vm::cycles` at frame push — the attribution profiler's inclusive
+    /// activation timer (a plain store; kept even with attribution off).
+    entry_cycles: u64,
 }
 
 impl Frame {
@@ -611,6 +819,7 @@ impl Frame {
             alloca_cache: Vec::new(),
             gen: 0,
             ret_slot: None,
+            entry_cycles: 0,
         }
     }
 }
@@ -688,6 +897,9 @@ pub struct Vm<'img> {
     audit: Vec<AuditRecord>,
     /// Guards the once-per-run flush into the global collector.
     telemetry_flushed: bool,
+    /// Attribution profiling state — `None` (one pointer-null branch per
+    /// hook) unless the image enables it.
+    attr: Option<Box<AttrState>>,
 }
 
 /// Result of [`Vm::run_to_function`].
@@ -823,6 +1035,7 @@ impl<'img> Vm<'img> {
             opclass: [0; 6],
             audit: Vec::new(),
             telemetry_flushed: false,
+            attr: img.attr.then(|| AttrState::new(&img.module, img.attr_sample_every)),
         };
         // A malformed image (no `main`, a `main` that cannot get a frame,
         // or data demands beyond what the VM hosts) loads into an
@@ -973,6 +1186,7 @@ impl<'img> Vm<'img> {
             site_counts: self.site_counts,
             opclass_counts: self.opclass,
             audit: self.audit.clone(),
+            attr: self.attr_profile(),
         }
     }
 
@@ -1007,6 +1221,182 @@ impl<'img> Vm<'img> {
         self.flush_telemetry();
     }
 
+    // ---- attribution hooks -------------------------------------------------
+    //
+    // Every hook below sits behind an `attr.is_some()` branch at its call
+    // site (or begins with one), so with attribution off the profiler's
+    // entire footprint is a few never-taken branches — the inertness the
+    // vm_throughput guardrail asserts.
+
+    /// Charges the accounting delta since the last checkpoint to the
+    /// current (innermost) function. Called at the frame transitions both
+    /// engines share: frame push, return, and end of run.
+    fn attr_checkpoint(&mut self) {
+        let cur = self.frames.last().map(|f| f.func.0 as usize);
+        let (cycles, insts) = (self.cycles, self.insts);
+        let (signs, auths) = (self.pac.sign_count, self.pac.auth_count);
+        let Some(a) = self.attr.as_deref_mut() else { return };
+        if let Some(fi) = cur {
+            let f = &mut a.funcs[fi];
+            f.cycles += cycles - a.last_cycles;
+            f.insts += insts - a.last_insts;
+            f.signs += signs - a.last_signs;
+            f.auths += auths - a.last_auths;
+        }
+        a.last_cycles = cycles;
+        a.last_insts = insts;
+        a.last_signs = signs;
+        a.last_auths = auths;
+    }
+
+    /// Takes a call-stack sample when `cycles` has crossed the sampling
+    /// boundary. Deterministic: the cycle model is deterministic and both
+    /// engines call this at the same accounting points (after each per-op
+    /// charge and after each block-transfer charge), so the sample set is
+    /// a pure function of the image.
+    fn attr_maybe_sample(&mut self) {
+        let cycles = self.cycles;
+        {
+            let Some(a) = self.attr.as_deref_mut() else { return };
+            if cycles < a.next_sample {
+                return;
+            }
+        }
+        let path: Vec<u32> = self.frames.iter().map(|f| f.func.0).collect();
+        let a = self.attr.as_deref_mut().expect("checked above");
+        *a.samples.entry(path).or_insert(0) += 1;
+        a.n_samples += 1;
+        a.next_sample = (cycles / a.sample_every + 1) * a.sample_every;
+    }
+
+    /// The interpreter's per-instruction path with attribution on: sample
+    /// check, then — for PAC-family ops — per-site accounting around the
+    /// execution. Outlined so `step`'s hot loop stays unchanged in shape.
+    #[inline(never)]
+    fn exec_inst_attr(
+        &mut self,
+        inst: &Inst,
+        func: u32,
+        block: u32,
+        idx: u32,
+        cost: u64,
+    ) -> Result<(), Trap> {
+        self.attr_maybe_sample();
+        let sid = if opcode_class(inst) == OPCLASS_PAC {
+            self.attr
+                .as_deref()
+                .and_then(|a| a.site_map.get(&(func, block, idx)).copied())
+                .unwrap_or(NO_SITE)
+        } else {
+            NO_SITE
+        };
+        if sid == NO_SITE {
+            return self.exec_inst(inst);
+        }
+        let (s0, a0) = (self.pac.sign_count, self.pac.auth_count);
+        let r = self.exec_inst(inst);
+        self.attr_record_site(sid, cost, s0, a0, r.is_err());
+        r
+    }
+
+    /// Adds one execution of check site `sid` (shared by both engines;
+    /// the compiled slow path calls this with the site id baked into its
+    /// `OpCharge` stream).
+    pub(crate) fn attr_record_site(&mut self, sid: u32, cost: u64, s0: u64, a0: u64, trapped: bool) {
+        let (signs, auths) = (self.pac.sign_count, self.pac.auth_count);
+        let a = self.attr.as_deref_mut().expect("attr on");
+        let st = &mut a.site_stats[sid as usize];
+        st.execs += 1;
+        st.cycles += cost;
+        st.signs += signs - s0;
+        st.auths += auths - a0;
+        if trapped {
+            st.traps += 1;
+        }
+    }
+
+    /// End-of-run attribution: charge the tail delta to the function the
+    /// run ended in, and attribute the trap (if any) to it.
+    fn attr_finalize(&mut self) {
+        if self.attr.is_none() {
+            return;
+        }
+        self.attr_checkpoint();
+        let cur = self.frames.last().map(|f| f.func.0 as usize);
+        let trapped = matches!(self.status, Some(Status::Trapped(_)));
+        if let (Some(a), Some(fi), true) = (self.attr.as_deref_mut(), cur, trapped) {
+            a.funcs[fi].traps += 1;
+        }
+    }
+
+    /// Builds the public profile from the run's attribution state.
+    fn attr_profile(&self) -> Option<Box<AttrProfile>> {
+        let a = self.attr.as_deref()?;
+        let m = &self.img.module;
+        let sites: Vec<SiteAttr> = a
+            .sites
+            .iter()
+            .zip(&a.site_stats)
+            .map(|(site, st)| SiteAttr {
+                site: site.clone(),
+                execs: st.execs,
+                cycles: st.cycles,
+                signs: st.signs,
+                auths: st.auths,
+                traps: st.traps,
+            })
+            .collect();
+        let mut funcs: Vec<FuncAttr> = m
+            .funcs
+            .iter()
+            .zip(&a.funcs)
+            .map(|(f, st)| FuncAttr {
+                name: f.name.clone(),
+                calls: st.calls,
+                cycles: st.cycles,
+                insts: st.insts,
+                pac_signs: st.signs,
+                pac_auths: st.auths,
+                traps: st.traps,
+                pac_cycles: 0,
+                pp_cycles: 0,
+                incl: st.incl.clone(),
+            })
+            .collect();
+        // Per-function PAC vs pp-check cycle split, summed from the sites.
+        for s in &sites {
+            let f = &mut funcs[s.site.func as usize];
+            if s.site.kind.starts_with("pp_") {
+                f.pp_cycles += s.cycles;
+            } else {
+                f.pac_cycles += s.cycles;
+            }
+        }
+        let mut folded: Vec<(Vec<String>, u64)> = a
+            .samples
+            .iter()
+            .map(|(path, &n)| {
+                let names: Vec<String> = path
+                    .iter()
+                    .map(|&fi| {
+                        m.funcs
+                            .get(fi as usize)
+                            .map_or_else(|| format!("<f{fi}>"), |f| f.name.clone())
+                    })
+                    .collect();
+                (names, n)
+            })
+            .collect();
+        folded.sort();
+        Some(Box::new(AttrProfile {
+            sample_every: a.sample_every,
+            samples: a.n_samples,
+            funcs,
+            sites,
+            folded,
+        }))
+    }
+
     /// Adds the run's accumulated counts into the global collector and
     /// emits the end-of-run event. Runs once per finished execution; a
     /// disabled collector reduces this to two branches.
@@ -1015,11 +1405,16 @@ impl<'img> Vm<'img> {
             return;
         }
         self.telemetry_flushed = true;
+        self.attr_finalize();
         let tel = rsti_telemetry::global();
         if !tel.is_enabled() {
             return;
         }
         self.pac.flush_telemetry();
+        if let Some(a) = self.attr.as_deref() {
+            tel.add(CounterId::VmAttrRuns, 1);
+            tel.add(CounterId::VmAttrSamples, a.n_samples);
+        }
         tel.add(
             match self.img.exec {
                 ExecBackend::Interp => CounterId::VmRunsInterp,
@@ -1186,6 +1581,12 @@ impl<'img> Vm<'img> {
         if self.frames.len() >= 4096 {
             return Err(Trap::StackOverflow);
         }
+        // Frame transition: charge the delta since the last checkpoint to
+        // the (outgoing) caller. Both engines call through here, at the
+        // same accounting state, so attribution is engine-independent.
+        if self.attr.is_some() {
+            self.attr_checkpoint();
+        }
         let img = self.img;
         let Some(f) = img.module.funcs.get(fid.0 as usize) else {
             return Err(oob("function", fid.0 as usize));
@@ -1242,6 +1643,10 @@ impl<'img> Vm<'img> {
         frame.stack_mark = self.stack_top - if ret_slot.is_some() { 8 } else { 0 };
         frame.ret_to = ret_to;
         frame.ret_slot = ret_slot;
+        frame.entry_cycles = self.cycles;
+        if let Some(a) = self.attr.as_deref_mut() {
+            a.funcs[fid.0 as usize].calls += 1;
+        }
         self.reg_top = base + nvals;
         self.reg_base = base;
         self.cur_gen = frame.gen;
@@ -1454,6 +1859,7 @@ impl<'img> Vm<'img> {
         let img = self.img;
         let depth = self.frames.len();
         let fr = self.frames.last().expect("active frame");
+        let (cur_func, cur_block) = (fr.func.0, fr.block as u32);
         let f = &img.module.funcs[fr.func.0 as usize];
         let Some(blk) = f.blocks.get(fr.block) else {
             // A malformed image can branch past the last block; report it
@@ -1462,26 +1868,52 @@ impl<'img> Vm<'img> {
         };
         let mut idx = fr.idx;
 
-        while idx < blk.insts.len() {
-            if self.insts >= self.fuel {
-                return Err(Trap::FuelExhausted);
+        // The attribution check is hoisted out of the per-instruction
+        // loop: with the profiler off (the default), the hot loop below is
+        // exactly the pre-profiler loop — one pointer-null test per block,
+        // zero per-instruction cost.
+        if self.attr.is_none() {
+            while idx < blk.insts.len() {
+                if self.insts >= self.fuel {
+                    return Err(Trap::FuelExhausted);
+                }
+                self.insts += 1;
+                let inst = &blk.insts[idx].inst;
+                idx += 1;
+                if self.trace_enabled {
+                    self.opclass[opcode_class(inst)] += 1;
+                }
+                // Commit the new index before executing: calls resume the
+                // caller here, and trap diagnostics read it.
+                self.frames.last_mut().expect("active frame").idx = idx;
+                self.cycles += img.cost.cost(inst);
+                self.exec_inst(inst)?;
+                if self.frames.len() != depth || self.status.is_some() {
+                    // Control left this block (call push / program exit):
+                    // the cached block slice no longer describes the
+                    // current frame, so hand back to the driver loop.
+                    return Ok(());
+                }
             }
-            self.insts += 1;
-            let inst = &blk.insts[idx].inst;
-            idx += 1;
-            if self.trace_enabled {
-                self.opclass[opcode_class(inst)] += 1;
-            }
-            // Commit the new index before executing: calls resume the
-            // caller here, and trap diagnostics read it.
-            self.frames.last_mut().expect("active frame").idx = idx;
-            self.cycles += img.cost.cost(inst);
-            self.exec_inst(inst)?;
-            if self.frames.len() != depth || self.status.is_some() {
-                // Control left this block (call push / program exit):
-                // the cached block slice no longer describes the current
-                // frame, so hand back to the driver loop.
-                return Ok(());
+        } else {
+            while idx < blk.insts.len() {
+                if self.insts >= self.fuel {
+                    return Err(Trap::FuelExhausted);
+                }
+                self.insts += 1;
+                let inst = &blk.insts[idx].inst;
+                let node_idx = idx as u32;
+                idx += 1;
+                if self.trace_enabled {
+                    self.opclass[opcode_class(inst)] += 1;
+                }
+                self.frames.last_mut().expect("active frame").idx = idx;
+                let cost = img.cost.cost(inst);
+                self.cycles += cost;
+                self.exec_inst_attr(inst, cur_func, cur_block, node_idx, cost)?;
+                if self.frames.len() != depth || self.status.is_some() {
+                    return Ok(());
+                }
             }
         }
 
@@ -1504,6 +1936,9 @@ impl<'img> Vm<'img> {
             self.opclass[OPCLASS_BRANCH] += 1;
         }
         self.cycles += self.img.cost.branch;
+        if self.attr.is_some() {
+            self.attr_maybe_sample();
+        }
         Ok(())
     }
 
@@ -1530,6 +1965,12 @@ impl<'img> Vm<'img> {
                 Ok(())
             }
             Terminator::Ret(v) => {
+                // Frame transition: charge the delta (return-terminator
+                // cost included — `charge_block_transfer` already ran) to
+                // the returning function before its frame pops.
+                if self.attr.is_some() {
+                    self.attr_checkpoint();
+                }
                 let val = match v {
                     Some(op) => Some(self.eval(op)?),
                     None => None,
@@ -1568,6 +2009,10 @@ impl<'img> Vm<'img> {
                 let fr = self.frames.pop().expect("frame");
                 self.stack_top = fr.stack_mark;
                 self.sync_reg_window(fr.reg_base);
+                if let Some(a) = self.attr.as_deref_mut() {
+                    // Completed activation: inclusive cycles, entry→return.
+                    a.funcs[fr.func.0 as usize].incl.record(self.cycles - fr.entry_cycles);
+                }
                 if self.frames.is_empty() {
                     let code = match val {
                         Some(RtVal::I(i)) => i,
