@@ -10,7 +10,7 @@
 
 use rsti_core::Mechanism;
 use rsti_frontend::compile;
-use rsti_vm::{ExecResult, Image, RunStop, Status, Trap, Vm};
+use rsti_vm::{ExecBackend, ExecResult, Image, Incident, RunStop, Status, Trap, Vm};
 use std::fmt;
 
 /// Attack category (Table 1 grouping).
@@ -141,22 +141,42 @@ pub fn defense_name(d: Option<Mechanism>) -> &'static str {
 
 /// Runs one scenario under one defense and derives the verdict.
 pub fn evaluate(s: &Scenario, defense: Option<Mechanism>) -> Verdict {
+    evaluate_with_record(s, defense, ExecBackend::Interp, false).0
+}
+
+/// [`evaluate`], with the engine selectable and the flight recorder
+/// optionally armed: when `record` is on and the defense detects the
+/// corruption, the returned [`Incident`] is the forensic narrative of the
+/// attack — failing check site, expected-vs-presented modifier, sign-site
+/// lineage, event window. Both engines produce bit-identical incidents.
+pub fn evaluate_with_record(
+    s: &Scenario,
+    defense: Option<Mechanism>,
+    exec: ExecBackend,
+    record: bool,
+) -> (Verdict, Option<Box<Incident>>) {
     let m = match compile(s.source, s.id) {
         Ok(m) => m,
-        Err(e) => return Verdict::Inconclusive(format!("victim does not compile: {e}")),
+        Err(e) => {
+            return (Verdict::Inconclusive(format!("victim does not compile: {e}")), None)
+        }
     };
-    let img = match defense {
+    let mut img = match defense {
         None => Image::baseline(&m),
         Some(mech) => Image::from_instrumented(&rsti_core::instrument(&m, mech)),
     };
+    img = img.with_exec(exec);
+    if record {
+        img = img.with_record();
+    }
     let mut vm = Vm::new(&img);
     match vm.run_to_function(s.pause_at) {
         RunStop::Entered => {}
         RunStop::Done(st) => {
-            return Verdict::Inconclusive(format!(
-                "victim never reached {}: {st:?}",
-                s.pause_at
-            ))
+            return (
+                Verdict::Inconclusive(format!("victim never reached {}: {st:?}", s.pause_at)),
+                None,
+            )
         }
     }
     // Perform the corruption.
@@ -176,17 +196,18 @@ pub fn evaluate(s: &Scenario, defense: Option<Mechanism>) -> Verdict {
         },
     };
     if let Some(e) = err {
-        return Verdict::Inconclusive(e);
+        return (Verdict::Inconclusive(e), None);
     }
     let r = vm.finish();
     if (s.payload_check)(&r) {
-        return Verdict::PayloadExecuted;
+        return (Verdict::PayloadExecuted, r.incident);
     }
-    match r.status {
+    let verdict = match r.status {
         Status::Exited(_) => Verdict::Survived,
         Status::Trapped(t) if t.is_detection() => Verdict::Detected(t),
         Status::Trapped(t) => Verdict::Crashed(t),
-    }
+    };
+    (verdict, r.incident)
 }
 
 /// Sanity check: the victim must run cleanly (no traps, no payload) when

@@ -27,8 +27,8 @@ pub mod scenarios;
 
 pub use capability::{capability_matrix, render_table2, ProbeOutcome};
 pub use harness::{
-    check_benign, defense_name, evaluate, render_table1, run_matrix, AttackKind, Category,
-    Corruption, MatrixRow, Scenario, Verdict, DEFENSES,
+    check_benign, defense_name, evaluate, evaluate_with_record, render_table1, run_matrix,
+    AttackKind, Category, Corruption, MatrixRow, Scenario, Verdict, DEFENSES,
 };
 
 #[cfg(test)]
@@ -141,6 +141,75 @@ mod tests {
                 assert_eq!(v, Verdict::PayloadExecuted, "{}: {v:?}", s.id);
             } else {
                 assert!(v.stopped(), "{}: {v:?}", s.id);
+            }
+        }
+    }
+
+    #[test]
+    fn every_detected_attack_yields_a_forensic_incident() {
+        // The tentpole acceptance claim: each Table 1 row that traps
+        // produces an incident naming the failing check site and the
+        // expected-vs-presented modifier, with sign-site lineage for
+        // replayed (legitimately signed) values and none for raw
+        // overwrites — bit-identical between the two engines.
+        use rsti_vm::ExecBackend;
+        for s in scenarios::all() {
+            for mech in [Mechanism::Stwc, Mechanism::Stc, Mechanism::Stl] {
+                let (vi, ii) =
+                    evaluate_with_record(&s, Some(mech), ExecBackend::Interp, true);
+                let (vc, ic) =
+                    evaluate_with_record(&s, Some(mech), ExecBackend::Compiled, true);
+                assert_eq!(vi, vc, "{} under {mech}: verdicts diverge", s.id);
+                assert_eq!(ii, ic, "{} under {mech}: incidents diverge", s.id);
+                assert!(
+                    matches!(vi, Verdict::Detected(_)),
+                    "{} under {mech}: {vi:?}",
+                    s.id
+                );
+                let inc = ii.unwrap_or_else(|| {
+                    panic!("{} under {mech}: detection must synthesize an incident", s.id)
+                });
+                assert_eq!(inc.mechanism, mech.name(), "{}", s.id);
+                assert!(
+                    !inc.check_site.is_empty(),
+                    "{} under {mech}: failing check site named",
+                    s.id
+                );
+                assert!(
+                    inc.window.iter().any(|e| e.kind == "attacker_write"),
+                    "{} under {mech}: the corruption itself is on the timeline",
+                    s.id
+                );
+                match s.corruption {
+                    Corruption::RawWrite { .. } => {
+                        assert!(
+                            inc.lineage.is_none(),
+                            "{} under {mech}: raw overwrite has no sign lineage",
+                            s.id
+                        );
+                        assert!(
+                            inc.verdict().contains("never signed"),
+                            "{} under {mech}: {}",
+                            s.id,
+                            inc.verdict()
+                        );
+                    }
+                    Corruption::Replay { .. } => {
+                        let lin = inc.lineage.as_ref().unwrap_or_else(|| {
+                            panic!(
+                                "{} under {mech}: replayed value must resolve to its sign site",
+                                s.id
+                            )
+                        });
+                        assert!(!lin.site.is_empty() || !lin.func.is_empty(), "{}", s.id);
+                        assert_ne!(
+                            (lin.modifier, lin.key.clone()),
+                            (inc.presented_modifier, inc.presented_key.clone()),
+                            "{} under {mech}: replay detected ⇒ context differs",
+                            s.id
+                        );
+                    }
+                }
             }
         }
     }

@@ -35,9 +35,13 @@
 //! dispatch, so flipping the collector on is proportionally pricier), and
 //! an attribution-profiler round pins the profiler's two guarantees on
 //! the real mix: inertness (attr-on deterministic totals are asserted
-//! bit-identical to attr-off) and a recorded profiler-on cost. Every run
-//! appends one schema-versioned line to `reports/bench_history.jsonl` —
-//! the trajectory log that `rsti report` diffs and CI's regression check
+//! bit-identical to attr-off) and a recorded profiler-on cost. A flight
+//! recorder round does the same for the violation-forensics ring buffer:
+//! record-on deterministic totals must be bit-identical to the default
+//! record-off run (the recorder only observes), and the recorder-on cost
+//! is recorded beside the attr cost. Every run appends one
+//! schema-versioned line to `reports/bench_history.jsonl` — the
+//! trajectory log that `rsti report` diffs and CI's regression check
 //! reads.
 
 use rsti_core::{Mechanism, OptLevel};
@@ -134,6 +138,10 @@ fn main() {
     let interp_imgs = build_imgs(OptLevel::Cfg, ExecBackend::Interp, false);
     let compiled_imgs = build_imgs(OptLevel::Cfg, ExecBackend::Compiled, false);
     let attr_imgs = build_imgs(OptLevel::Cfg, ExecBackend::Interp, true);
+    let rec_imgs: Vec<Image> = build_imgs(OptLevel::Cfg, ExecBackend::Interp, false)
+        .into_iter()
+        .map(Image::with_record)
+        .collect();
     let n = interp_imgs.len();
     let mut scratch = vec![f64::INFINITY; n];
     let mut sink = MixResult::default();
@@ -146,11 +154,13 @@ fn main() {
     let mut c = MixResult::default();
     let mut ct = MixResult::default();
     let mut a = MixResult::default();
+    let mut rr = MixResult::default();
     let mut bm = vec![f64::INFINITY; n];
     let mut bt = vec![f64::INFINITY; n];
     let mut bc = vec![f64::INFINITY; n];
     let mut bct = vec![f64::INFINITY; n];
     let mut ba = vec![f64::INFINITY; n];
+    let mut brr = vec![f64::INFINITY; n];
     for round in 0..10 {
         let first = round == 0;
         for i in 0..n {
@@ -164,6 +174,7 @@ fn main() {
             time_one(&compiled_imgs[i], i, &mut bct, &mut ct, first);
             tel.disable();
             time_one(&attr_imgs[i], i, &mut ba, &mut a, first);
+            time_one(&rec_imgs[i], i, &mut brr, &mut rr, first);
         }
     }
     tel.disable();
@@ -173,11 +184,16 @@ fn main() {
     c.secs = bc.iter().sum();
     ct.secs = bct.iter().sum();
     a.secs = ba.iter().sum();
+    rr.secs = brr.iter().sum();
     assert_mix_parity(&m, &c, "headline mix");
     // The profiler's inertness guarantee, asserted on the real mix: with
     // attribution on, every deterministic total is bit-identical to the
     // profiler-off run — the profiler only observes.
     assert_mix_parity(&m, &a, "attr-on mix (inertness)");
+    // Same guarantee for the violation-forensics flight recorder: arming
+    // it changes no deterministic total, so the default record-off
+    // trajectory numbers are what a never-armed build would produce.
+    assert_mix_parity(&m, &rr, "record-on mix (inertness)");
     let ips = m.ips();
     let speedup = ips / PRE_CHANGE_INSTS_PER_SEC;
     let ips_on = t.ips();
@@ -188,6 +204,8 @@ fn main() {
     let con_delta_pct = (cips / cips_on - 1.0) * 100.0;
     let aips = a.ips();
     let attr_delta_pct = (ips / aips - 1.0) * 100.0;
+    let rips = rr.ips();
+    let record_delta_pct = (ips / rips - 1.0) * 100.0;
 
     println!("vm_throughput: nbench + NGINX mix, baseline + STWC");
     println!("  instructions executed : {} (one mix pass)", m.insts);
@@ -199,6 +217,7 @@ fn main() {
     println!("  telemetry-on insts/s  : {ips_on:.0}  (enabled costs {on_delta_pct:+.2}%)");
     println!("  compiled tel-on i/s   : {cips_on:.0}  (enabled costs {con_delta_pct:+.2}%)");
     println!("  attr-on insts/s       : {aips:.0}  (profiler costs {attr_delta_pct:+.2}%, interp)");
+    println!("  record-on insts/s     : {rips:.0}  (recorder costs {record_delta_pct:+.2}%, interp)");
 
     // The optimizer-level ablation on the same mix, under both engines:
     // fewer executed checks ⇒ fewer instructions ⇒ more useful work per
@@ -264,6 +283,8 @@ fn main() {
          \"compiled_telemetry_cost_pct\": {con_delta_pct:.2},\n  \
          \"attr_on_insts_per_sec\": {aips:.0},\n  \
          \"attr_cost_pct\": {attr_delta_pct:.2},\n  \
+         \"record_on_insts_per_sec\": {rips:.0},\n  \
+         \"record_cost_pct\": {record_delta_pct:.2},\n  \
          \"opt_levels\": [\n{levels_json}\n  ]\n}}\n",
         m.insts, m.cycles, m.secs
     );
@@ -284,6 +305,7 @@ fn main() {
          \"telemetry_enabled_cost_pct\": {on_delta_pct:.2}, \
          \"compiled_telemetry_cost_pct\": {con_delta_pct:.2}, \
          \"attr_on_insts_per_sec\": {aips:.0}, \"attr_cost_pct\": {attr_delta_pct:.2}, \
+         \"record_cost_pct\": {record_delta_pct:.2}, \
          \"instructions\": {}, \"cycle_model_total\": {}, \"pac_auths\": {}}}\n",
         m.insts, m.cycles, m.pac_auths
     );

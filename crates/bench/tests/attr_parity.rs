@@ -96,6 +96,32 @@ fn attr_is_inert_on_verdicts_and_totals() {
     }
 }
 
+/// The flight recorder is observation-only too: arming it on the real mix
+/// changes no verdict, no output, and no deterministic total under either
+/// engine, and clean runs synthesize no incident.
+#[test]
+fn recorder_is_inert_on_verdicts_and_totals() {
+    for (name, img) in mix_images(OptLevel::Cfg) {
+        for exec in [ExecBackend::Interp, ExecBackend::Compiled] {
+            let off = img.clone().with_exec(exec);
+            let on = off.clone().with_record();
+            off.precompile();
+            on.precompile();
+            let (roff, ron) = (run(&off), run(&on));
+            assert!(roff.incident.is_none(), "{name}: unarmed run produced an incident");
+            assert!(ron.incident.is_none(), "{name}: clean recorded run produced an incident");
+            assert_eq!(roff.status, ron.status, "{name}/{exec:?}: status changed");
+            assert_eq!(roff.output, ron.output, "{name}/{exec:?}: output changed");
+            assert_eq!(roff.cycles, ron.cycles, "{name}/{exec:?}: cycles changed");
+            assert_eq!(roff.insts, ron.insts, "{name}/{exec:?}: insts changed");
+            assert_eq!(roff.pac_signs, ron.pac_signs, "{name}/{exec:?}: signs changed");
+            assert_eq!(roff.pac_auths, ron.pac_auths, "{name}/{exec:?}: auths changed");
+            assert_eq!(roff.site_counts, ron.site_counts, "{name}/{exec:?}: site counts changed");
+            assert_eq!(roff.audit, ron.audit, "{name}/{exec:?}: audit records changed");
+        }
+    }
+}
+
 /// The profile's accounting is internally consistent: exclusive
 /// per-function cycles and insts sum to the run totals, and per-site auth
 /// counts sum to the run's auth total.

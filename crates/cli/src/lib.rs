@@ -13,7 +13,8 @@
 //! rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
 //! rsti instrument <file.mc> [--mech ...]        # dump instrumented IR
 //! rsti equivalence <file.mc>                    # Table 3 row for a file
-//! rsti fuzz [--seeds N] [--start S] [--attr] [--minimize] [--corpus DIR]
+//! rsti fuzz [--seeds N] [--start S] [--attr] [--record] [--minimize] [--corpus DIR]
+//! rsti explain <file.mc> | --attack <id> [--mech ...] [--backend ...] [--json]
 //! ```
 //!
 //! `profile --attr` turns on the deterministic attribution profiler:
@@ -33,6 +34,14 @@
 //! and never panic. Failures are delta-debugged with `--minimize` and
 //! written as `.mc` repros with `--corpus DIR`; the process exits nonzero
 //! if any oracle was violated.
+//!
+//! `explain` arms the pointer-provenance flight recorder and renders the
+//! forensic incident report for the first RSTI detection trap: the failing
+//! check site, the expected-vs-presented modifier and key, the sign-site
+//! lineage of the authenticated value, a scope timeline, and the last-K
+//! event window (`--json` for the structured form). `--attack <id>` runs a
+//! Table 1 scenario from `rsti-attacks` instead of a file; `run`,
+//! `profile`, and `fuzz` accept `--record` to arm the same recorder.
 //!
 //! `--trace <path>` (or the `RSTI_TRACE` env var) turns the global
 //! telemetry collector on and streams JSONL events — phase spans, counter
@@ -124,6 +133,14 @@ pub fn run_cli(args: &[String]) -> (i32, String) {
             Err(e) => (1, format!("error: {e}\n{USAGE}")),
         };
     }
+    // `explain` may take `--attack <id>` instead of an input file, so it
+    // bypasses `dispatch` too.
+    if args.first().map(String::as_str) == Some("explain") {
+        return match cmd_explain(args) {
+            Ok(out) => (0, out),
+            Err(e) => (1, format!("error: {e}\n{USAGE}")),
+        };
+    }
     match dispatch(args) {
         Ok(out) => (0, out),
         Err(e) => (1, format!("error: {e}\n{USAGE}")),
@@ -166,6 +183,10 @@ fn cmd_fuzz(args: &[String]) -> Result<(i32, String), String> {
     // verdicts must not change (inertness), and the exec oracle then also
     // diffs the engines' profiles on every generated program.
     rsti_fuzz::set_attr_profile(args.iter().any(|a| a == "--attr"));
+    // `--record` arms the flight recorder on every oracle VM: verdicts must
+    // not change, and the exec oracle then also diffs the engines'
+    // synthesized incidents bit-for-bit on every generated program.
+    rsti_fuzz::set_record(args.iter().any(|a| a == "--record"));
     let corpus_dir = flag_value(args, "--corpus");
 
     let report = rsti_fuzz::run_campaign(&cfg);
@@ -211,8 +232,8 @@ fn cmd_fuzz(args: &[String]) -> Result<(i32, String), String> {
 
 const USAGE: &str = "\
 usage:
-  rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--stats] [--trace out.jsonl]
-  rsti profile <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--attr] [--top N] [--flame out.folded] [--chrome out.json] [--trace out.jsonl]
+  rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--record] [--stats] [--trace out.jsonl]
+  rsti profile <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--attr] [--record] [--top N] [--flame out.folded] [--chrome out.json] [--trace out.jsonl]
 
   --optimize is shorthand for --opt cfg (the full pipeline).
   --backend selects the enforcement scheme (pac|mac) or the execution
@@ -225,15 +246,25 @@ usage:
   report runs the nbench+NGINX mix under every mechanism with attribution
   on and writes DIR/hotspots.md (default reports/): the per-function
   app/PAC/pp cycle split plus a diff of the last two bench-history entries.
+  rsti explain <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--json]
+  rsti explain --attack <scenario-id> [--mech stwc|stc|stl|parts|none] [--backend interp|compiled] [--json]
+
+  explain arms the pointer-provenance flight recorder and renders the
+  forensic incident report for the first RSTI detection trap: failing
+  check site, expected vs presented modifier/key, sign-site lineage,
+  scope timeline, and the last-K event window (--json for the structured
+  form). --attack runs a Table 1 scenario instead of a file. run, profile,
+  and fuzz accept --record to arm the same recorder on their runs.
   rsti analyze <file.mc> [--mech stwc|stc|stl|parts]
   rsti instrument <file.mc> [--mech stwc|stc|stl|parts]
   rsti equivalence <file.mc>
-  rsti fuzz [--seeds N] [--start S] [--backend interp|compiled] [--attr] [--minimize] [--corpus DIR] [--trace out.jsonl]
+  rsti fuzz [--seeds N] [--start S] [--backend interp|compiled] [--attr] [--record] [--minimize] [--corpus DIR] [--trace out.jsonl]
 
   fuzz cross-checks the compiled engine against the interpreter on every
   run; --backend interp opts out (interpreter-only campaign). --attr runs
   every oracle VM with the attribution profiler on (verdicts must not
-  change; engine profiles must agree).
+  change; engine profiles must agree). --record likewise arms the flight
+  recorder everywhere and diffs the engines' incidents.
   RSTI_TRACE=<path> in the environment is equivalent to --trace <path>.
 ";
 
@@ -426,6 +457,59 @@ fn json_num(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Renders the bench-trajectory lines from the non-empty `history` entries
+/// (oldest first): the last entry's headline numbers plus a percentage diff
+/// against the previous entry. With fewer than two entries — or when the
+/// previous entry was written under a different `schema` version, so its
+/// numbers are not comparable — the section says "no prior entry" instead
+/// of silently omitting the diff or comparing across schema changes.
+fn render_history_diff(md: &mut String, history: &str, lines: &[&str]) {
+    let Some(&last) = lines.last() else {
+        let _ = writeln!(md, "`{history}` is empty.");
+        return;
+    };
+    let field = |k: &str| json_num(last, k);
+    let _ = writeln!(
+        md,
+        "Last `{history}` entry: interp {:.0} insts/s, compiled {:.0} \
+         insts/s (x{:.2}), telemetry cost {:.2}% (compiled {:.2}%), \
+         attr-on cost {:.2}%.",
+        field("insts_per_sec").unwrap_or(0.0),
+        field("compiled_insts_per_sec").unwrap_or(0.0),
+        field("compiled_speedup_vs_interp").unwrap_or(0.0),
+        field("telemetry_enabled_cost_pct").unwrap_or(0.0),
+        field("compiled_telemetry_cost_pct").unwrap_or(0.0),
+        field("attr_cost_pct").unwrap_or(0.0),
+    );
+    if lines.len() < 2 {
+        let _ = writeln!(md, "No prior entry to diff against (first recorded run).");
+        return;
+    }
+    let prev = lines[lines.len() - 2];
+    if json_num(prev, "schema") != json_num(last, "schema") {
+        let sch = |l: &str| json_num(l, "schema").map_or("?".into(), |v| format!("{v:.0}"));
+        let _ = writeln!(
+            md,
+            "No prior comparable entry (previous record has schema {}, this one {}) \
+             — diff skipped.",
+            sch(prev),
+            sch(last)
+        );
+        return;
+    }
+    let delta = |k: &str| -> Option<f64> {
+        let (p, l) = (json_num(prev, k)?, json_num(last, k)?);
+        (p > 0.0).then(|| (l / p - 1.0) * 100.0)
+    };
+    let _ = writeln!(
+        md,
+        "Vs previous entry: interp {:+.1}%, compiled {:+.1}% \
+         (wall-clock, machine-dependent).",
+        delta("insts_per_sec").unwrap_or(0.0),
+        delta("compiled_insts_per_sec").unwrap_or(0.0),
+    );
+}
+
 /// One aggregated hotspot row for the report: a function in one workload.
 struct HotRow {
     name: String,
@@ -553,37 +637,7 @@ fn cmd_report(args: &[String]) -> Result<String, String> {
     match std::fs::read_to_string(history) {
         Ok(body) => {
             let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
-            if let Some(last) = lines.last() {
-                let field = |k| json_num(last, k);
-                let _ = writeln!(
-                    md,
-                    "Last `{history}` entry: interp {:.0} insts/s, compiled {:.0} \
-                     insts/s (x{:.2}), telemetry cost {:.2}% (compiled {:.2}%), \
-                     attr-on cost {:.2}%.",
-                    field("insts_per_sec").unwrap_or(0.0),
-                    field("compiled_insts_per_sec").unwrap_or(0.0),
-                    field("compiled_speedup_vs_interp").unwrap_or(0.0),
-                    field("telemetry_enabled_cost_pct").unwrap_or(0.0),
-                    field("compiled_telemetry_cost_pct").unwrap_or(0.0),
-                    field("attr_cost_pct").unwrap_or(0.0),
-                );
-                if lines.len() >= 2 {
-                    let prev = lines[lines.len() - 2];
-                    let delta = |k: &str| -> Option<f64> {
-                        let (p, l) = (json_num(prev, k)?, json_num(last, k)?);
-                        (p > 0.0).then(|| (l / p - 1.0) * 100.0)
-                    };
-                    let _ = writeln!(
-                        md,
-                        "Vs previous entry: interp {:+.1}%, compiled {:+.1}% \
-                         (wall-clock, machine-dependent).",
-                        delta("insts_per_sec").unwrap_or(0.0),
-                        delta("compiled_insts_per_sec").unwrap_or(0.0),
-                    );
-                }
-            } else {
-                let _ = writeln!(md, "`{history}` is empty.");
-            }
+            render_history_diff(&mut md, history, &lines);
         }
         Err(_) => {
             let _ = writeln!(
@@ -599,6 +653,113 @@ fn cmd_report(args: &[String]) -> Result<String, String> {
     std::fs::write(&path, &md).map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
     let mut out = md;
     let _ = writeln!(out, "wrote {}", path.display());
+    Ok(out)
+}
+
+/// Short engine name for headers.
+fn exec_name(e: rsti_vm::ExecBackend) -> &'static str {
+    match e {
+        rsti_vm::ExecBackend::Interp => "interp",
+        rsti_vm::ExecBackend::Compiled => "compiled",
+    }
+}
+
+/// The `explain` subcommand: runs a program — or a Table 1 attack scenario
+/// with `--attack <id>` — with the flight recorder armed and renders the
+/// forensic incident report for the first RSTI detection trap, or says why
+/// there is nothing to explain. `--json` emits the structured incident.
+///
+/// # Errors
+/// Returns usage errors: unknown attack id or flag values, a missing or
+/// unreadable input, or `--backend pac|mac` combined with `--attack`.
+fn cmd_explain(args: &[String]) -> Result<String, String> {
+    let json = args.iter().any(|a| a == "--json");
+    let (enforce, exec) = parse_backends(args)?;
+    let mut out = String::new();
+    if let Some(id) = flag_value(args, "--attack") {
+        if enforce.is_some() {
+            return Err("--backend pac|mac does not combine with --attack (the harness \
+                        owns enforcement); pick the engine with --backend interp|compiled"
+                .into());
+        }
+        let all: Vec<rsti_attacks::Scenario> = rsti_attacks::scenarios::all()
+            .into_iter()
+            .chain(rsti_attacks::scenarios::extras())
+            .collect();
+        let s = all.iter().find(|s| s.id == id).ok_or_else(|| {
+            let ids: Vec<&str> = all.iter().map(|s| s.id).collect();
+            format!("unknown attack `{id}`; one of: {}", ids.join(", "))
+        })?;
+        let mech = match flag_value(args, "--mech") {
+            Some(name) => parse_mechanism(name)?,
+            None => Some(Mechanism::Stwc),
+        };
+        let engine = exec.unwrap_or(rsti_vm::ExecBackend::Interp);
+        let (verdict, inc) = rsti_attacks::evaluate_with_record(s, mech, engine, true);
+        match inc {
+            Some(inc) if json => {
+                let _ = writeln!(out, "{}", inc.to_json());
+            }
+            Some(inc) => {
+                let _ = writeln!(
+                    out,
+                    "explain: attack `{}` under {} ({} engine): {}",
+                    s.id,
+                    rsti_attacks::defense_name(mech),
+                    exec_name(engine),
+                    verdict.label()
+                );
+                out.push_str(&inc.render_text());
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "explain: attack `{}` under {} ({} engine): {} — no detection \
+                     trap, so there is no incident to explain",
+                    s.id,
+                    rsti_attacks::defense_name(mech),
+                    exec_name(engine),
+                    verdict.label()
+                );
+            }
+        }
+    } else {
+        let file = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("explain needs <file.mc> or --attack <scenario-id>")?;
+        let src = read_source(file)?;
+        let module = rsti_frontend::compile(&src, file).map_err(|e| e.to_string())?;
+        let choice = match flag_value(args, "--mech") {
+            Some(s) => parse_mech_choice(s)?,
+            None => MechChoice::Fixed(Mechanism::Stwc),
+        };
+        let level = parse_opt_level(args)?;
+        let (img, _stats) = build_image(&module, choice, level);
+        let img = apply_backend(img, args)?.with_record();
+        let r = Vm::new(&img).run();
+        match &r.incident {
+            Some(inc) if json => {
+                let _ = writeln!(out, "{}", inc.to_json());
+            }
+            Some(inc) => {
+                let _ = writeln!(out, "explain: {file} (mech {})", choice.label());
+                out.push_str(&inc.render_text());
+            }
+            None => {
+                let status = match &r.status {
+                    Status::Exited(c) => format!("exit {c}"),
+                    Status::Trapped(t) => format!("trap {t}"),
+                };
+                let _ = writeln!(
+                    out,
+                    "explain: {file} (mech {}): no RSTI detection trap ({status}) — \
+                     nothing to explain",
+                    choice.label()
+                );
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -640,7 +801,10 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             let mut out = String::new();
             let level = parse_opt_level(args)?;
             let (img, stats) = build_image(&module, choice, level);
-            let img = apply_backend(img, args)?;
+            let mut img = apply_backend(img, args)?;
+            if args.iter().any(|a| a == "--record") {
+                img = img.with_record();
+            }
             let mut vm = Vm::new(&img);
             let r = vm.run();
             for line in &r.output {
@@ -651,6 +815,9 @@ fn dispatch(args: &[String]) -> Result<String, String> {
                     if e.critical { "!" } else { "" }, e.name, e.args.join(", "));
             }
             render_audit(&mut out, &r);
+            if let Some(inc) = &r.incident {
+                out.push_str(&inc.render_text());
+            }
             match &r.status {
                 Status::Exited(c) => {
                     let _ = writeln!(out, "exit: {c}");
@@ -698,6 +865,9 @@ fn dispatch(args: &[String]) -> Result<String, String> {
             if attr {
                 img = img.with_attr();
             }
+            if args.iter().any(|a| a == "--record") {
+                img = img.with_record();
+            }
             let mut vm = Vm::new(&img);
             let r = vm.run();
             let mut out = String::new();
@@ -711,6 +881,9 @@ fn dispatch(args: &[String]) -> Result<String, String> {
                 }
             }
             render_audit(&mut out, &r);
+            if let Some(inc) = &r.incident {
+                out.push_str(&inc.render_text());
+            }
             if let Some(p) = &r.attr {
                 let _ = writeln!(out);
                 render_attr_tables(&mut out, p, top);
@@ -1162,6 +1335,130 @@ mod tests {
         // History diff: both the last entry and the vs-previous delta.
         assert!(md.contains("interp 1100 insts/s"), "{md}");
         assert!(md.contains("Vs previous entry: interp +10.0%"), "{md}");
+    }
+
+    #[test]
+    fn history_diff_reports_missing_or_incomparable_prior_entry() {
+        // Satellite fix: fewer than two history entries (or a schema change
+        // in the tail) must say "no prior entry", never a bogus or silently
+        // absent diff.
+        let one = "{\"schema\":1,\"insts_per_sec\":1000,\"compiled_insts_per_sec\":3000,\
+                   \"compiled_speedup_vs_interp\":3.0,\"telemetry_enabled_cost_pct\":2.0,\
+                   \"compiled_telemetry_cost_pct\":1.0,\"attr_cost_pct\":4.5}";
+        let mut md = String::new();
+        render_history_diff(&mut md, "h.jsonl", &[one]);
+        assert!(md.contains("interp 1000 insts/s"), "{md}");
+        assert!(md.contains("No prior entry to diff against"), "{md}");
+        assert!(!md.contains("Vs previous entry"), "{md}");
+
+        let old_schema = one.replace("\"schema\":1", "\"schema\":0");
+        let mut md = String::new();
+        render_history_diff(&mut md, "h.jsonl", &[old_schema.as_str(), one]);
+        assert!(md.contains("No prior comparable entry"), "{md}");
+        assert!(md.contains("schema 0, this one 1"), "{md}");
+        assert!(!md.contains("Vs previous entry"), "{md}");
+
+        let newer = one.replace("1000", "1100");
+        let mut md = String::new();
+        render_history_diff(&mut md, "h.jsonl", &[one, newer.as_str()]);
+        assert!(md.contains("Vs previous entry: interp +10.0%"), "{md}");
+
+        let mut md = String::new();
+        render_history_diff(&mut md, "h.jsonl", &[]);
+        assert!(md.contains("is empty"), "{md}");
+    }
+
+    #[test]
+    fn explain_attack_renders_incident_report() {
+        let (code, out) = run_cli(&[
+            "explain".into(),
+            "--attack".into(),
+            "newton-cscfi".into(),
+            "--mech".into(),
+            "stwc".into(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("== RSTI incident report =="), "{out}");
+        assert!(out.contains("verdict     :"), "{out}");
+        assert!(out.contains("attacker_write"), "{out}");
+        // Without a defense nothing traps, so there is nothing to explain.
+        let (code, out) = run_cli(&[
+            "explain".into(),
+            "--attack".into(),
+            "newton-cscfi".into(),
+            "--mech".into(),
+            "none".into(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("no detection trap"), "{out}");
+        // Unknown ids list the catalogue.
+        let (code, out) = run_cli(&["explain".into(), "--attack".into(), "nope".into()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("unknown attack"), "{out}");
+        assert!(out.contains("newton-cscfi"), "{out}");
+    }
+
+    #[test]
+    fn explain_attack_json_is_engine_invariant() {
+        let mut bodies = Vec::new();
+        for engine in ["interp", "compiled"] {
+            let (code, out) = run_cli(&[
+                "explain".into(),
+                "--attack".into(),
+                "newton-cscfi".into(),
+                "--backend".into(),
+                engine.into(),
+                "--json".into(),
+            ]);
+            assert_eq!(code, 0, "{engine}: {out}");
+            let body = out.trim_end();
+            assert!(body.starts_with('{') && body.ends_with('}'), "{out}");
+            assert!(body.contains("\"schema\":1"), "{out}");
+            assert!(body.contains("\"check_site\":"), "{out}");
+            assert!(body.contains("\"presented_modifier\":"), "{out}");
+            bodies.push(out);
+        }
+        assert_eq!(bodies[0], bodies[1], "incident JSON must be engine-invariant");
+    }
+
+    #[test]
+    fn explain_file_mode_handles_benign_programs() {
+        let f = write_temp("rsti_cli_explain_benign.mc", PROG);
+        let (code, out) = run_cli(&["explain".into(), f]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("no RSTI detection trap"), "{out}");
+        // explain without a file or --attack is a usage error.
+        let (code, out) = run_cli(&["explain".into()]);
+        assert_eq!(code, 1);
+        assert!(out.contains("--attack"), "{out}");
+    }
+
+    #[test]
+    fn usage_lists_explain_and_record() {
+        assert!(USAGE.contains("rsti explain"), "{USAGE}");
+        assert!(USAGE.contains("--attack"), "{USAGE}");
+        assert!(USAGE.contains("--record"), "{USAGE}");
+    }
+
+    #[test]
+    fn run_record_is_silent_on_clean_runs() {
+        // Recorder inertness at the CLI surface: arming it must not change
+        // a clean run's output in any way.
+        let f = write_temp("rsti_cli_run_rec.mc", PROG);
+        let plain = run_cli(&["run".into(), f.clone(), "--stats".into()]);
+        let rec = run_cli(&["run".into(), f, "--record".into(), "--stats".into()]);
+        assert_eq!(plain, rec, "recorder must not change a clean run's output");
+    }
+
+    #[test]
+    fn fuzz_smoke_with_recorder_is_clean() {
+        // Recorder inertness under the differential oracle: verdicts stay
+        // unchanged and interp ≡ compiled incidents on every seed.
+        let (code, out) =
+            run_cli(&["fuzz".into(), "--seeds".into(), "2".into(), "--record".into()]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("0 oracle violation(s)"), "{out}");
+        rsti_fuzz::set_record(false);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod minimize;
 pub mod oracle;
 
 pub use minimize::MinimizeReport;
-pub use oracle::{set_attr_profile, set_exec_oracle, FailureKind};
+pub use oracle::{set_attr_profile, set_exec_oracle, set_record, FailureKind};
 
 use rsti_frontend::print_items;
 use rsti_telemetry::{CounterId, Phase};

@@ -209,6 +209,14 @@ thread_local! {
     /// the interpreter and compiled engines must produce identical
     /// profiles, since [`rsti_vm::ExecResult`] equality covers `attr`.
     static ATTR_PROFILE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// Whether every VM run in the oracle matrix arms the pointer-lifecycle
+    /// flight recorder (`rsti fuzz --record`). Off by default. On, any run
+    /// that traps on an RSTI detection synthesizes an [`rsti_vm::Incident`]
+    /// in both engines, and the exec oracle's `ExecResult` equality then
+    /// covers the full incident — failing check site, lineage, event
+    /// window, model-cycle timestamps — bit for bit.
+    static RECORD: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 /// Enables or disables the compiled-engine oracle column for campaigns on
@@ -223,6 +231,12 @@ pub fn set_attr_profile(on: bool) {
     ATTR_PROFILE.with(|c| c.set(on));
 }
 
+/// Enables or disables the flight recorder on every oracle VM run on the
+/// current thread (the `--record` fuzz knob; see [`RECORD`]).
+pub fn set_record(on: bool) {
+    RECORD.with(|c| c.set(on));
+}
+
 /// Runs one image under both engines, diffs the complete [`ExecResult`]s
 /// (the `exec=compiled` oracle column), and returns the interpreter's view.
 fn run_image(img: &Image, config: &str) -> Result<(Status, Vec<String>), FailureKind> {
@@ -233,6 +247,15 @@ fn run_image(img: &Image, config: &str) -> Result<(Status, Vec<String>), Failure
     let img = if ATTR_PROFILE.with(|c| c.get()) {
         attr_img = img.clone().with_attr_sampling(256);
         &attr_img
+    } else {
+        img
+    };
+    // `--record`: the flight recorder rides every run; incident equality
+    // between the engines comes with the `ExecResult` diff below.
+    let rec_img;
+    let img = if RECORD.with(|c| c.get()) {
+        rec_img = img.clone().with_record();
+        &rec_img
     } else {
         img
     };
@@ -283,6 +306,9 @@ fn backend_diff(i: &ExecResult, c: &ExecResult) -> String {
     }
     if i.attr != c.attr {
         return "attr: attribution profiles diverge".to_string();
+    }
+    if i.incident != c.incident {
+        return "incident: flight-recorder incidents diverge".to_string();
     }
     format!("field-level mismatch: interp {i:?} vs compiled {c:?}")
 }

@@ -17,7 +17,11 @@
 //!   instruction, function, and line — the data behind Table 4's
 //!   detection claims;
 //! * [`TelemetrySnapshot`] — a point-in-time registry snapshot with stable
-//!   serialized field names (golden-tested).
+//!   serialized field names (golden-tested);
+//! * [`Incident`] — a full forensic report for one RSTI detection trap,
+//!   synthesized by the VM's flight recorder (`incident` module): failing
+//!   check site, expected-vs-presented modifier/key, sign-site lineage,
+//!   scope timeline, and the last-K event window.
 //!
 //! ## Off-by-default cost guarantee
 //!
@@ -30,10 +34,12 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod incident;
 
 pub use export::{
     chrome_trace, phase_trace_events, to_folded, Histogram, TraceEvent, HIST_BUCKETS,
 };
+pub use incident::{Incident, IncidentEvent, SignLineage, INCIDENT_SCHEMA};
 
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

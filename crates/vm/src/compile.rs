@@ -592,9 +592,22 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                         let b = tri!(vm.mem.read_arr::<8>(addr).map_err(|e| vm.mem_err(e)));
                         RtVal::F(f64::from_le_bytes(b))
                     }),
-                    LoadKind::Ptr => load_c!(|vm, addr| {
+                    // Written out (not via `load_c!`) for the recorder
+                    // hook: a load through a pointer-typed slot is a
+                    // lifecycle event the interpreter records too.
+                    LoadKind::Ptr => Box::new(move |vm: &mut Vm<'_>| {
+                        let p = tri!(vm.as_ptr(tri!(ps.get(vm))));
+                        let addr = tri!(vm.deref_addr(p));
                         let b = tri!(vm.mem.read_arr::<8>(addr).map_err(|e| vm.mem_err(e)));
-                        RtVal::P(u64::from_le_bytes(b))
+                        let bits = u64::from_le_bytes(b);
+                        if track {
+                            vm.last_ptr_load = Some(addr);
+                        }
+                        if vm.rec.is_some() {
+                            vm.rec_plain(RecKind::Load, addr, bits);
+                        }
+                        vm.set(result, RtVal::P(bits));
+                        Control::Next
                     }),
                     // The interpreter reaches the unsupported-type error
                     // only after the pointer itself resolved, so the bad
@@ -699,6 +712,11 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                                 .mem
                                 .write_arr(addr, pv.to_le_bytes())
                                 .map_err(|e| vm.mem_err(e)));
+                            // Mirrors `store_typed`'s ptr-slot recorder
+                            // event (this closure inlines that arm).
+                            if vm.rec.is_some() {
+                                vm.rec_plain(RecKind::Store, addr, pv);
+                            }
                             Control::Next
                         }),
                         // Unsupported slot type: `store_typed`'s error,
@@ -1083,6 +1101,9 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
             Box::new(move |vm| {
                 let p = tri!(ptr.read_ptr(vm));
                 let a = vm.img.va.canonical(p);
+                if vm.rec.is_some() {
+                    vm.rec_plain(RecKind::Free, a, p);
+                }
                 if a != 0 && !vm.alloc.free(a) {
                     vm.events.push(ExtEvent {
                         name: "invalid_free".into(),
@@ -1128,11 +1149,17 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                 };
                 if !mac {
                     let signed = vm.pac.sign(key, p, modifier);
+                    if vm.rec.is_some() {
+                        vm.rec_push(RecKind::Sign, signed, modifier, key_code(key));
+                    }
                     vm.set(result, RtVal::P(signed));
                 } else {
                     vm.pac.sign_count += 1;
                     let macv = vm.pac.compute_pac(key, p, modifier);
                     vm.pending_mac = Some(macv);
+                    if vm.rec.is_some() {
+                        vm.rec_push(RecKind::Sign, p, modifier, key_code(key));
+                    }
                     vm.set(result, RtVal::P(p));
                 }
                 Control::Next
@@ -1156,6 +1183,9 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                 if !mac {
                     match vm.pac.auth(key, p, modifier) {
                         Ok(clean) => {
+                            if vm.rec.is_some() {
+                                vm.rec_push(RecKind::Auth, p, modifier, key_code(key));
+                            }
                             vm.set(result, RtVal::P(clean));
                             Control::Next
                         }
@@ -1167,6 +1197,8 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                                 modifier,
                                 e.found_pac,
                                 e.expected_pac,
+                                p,
+                                key_code(key),
                             )))
                         }
                     }
@@ -1175,18 +1207,31 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                     let expected = vm.pac.compute_pac(key, p, modifier);
                     if let Some(macv) = vm.pending_mac.take() {
                         if macv == expected {
+                            if vm.rec.is_some() {
+                                vm.rec_push(RecKind::Auth, p, modifier, key_code(key));
+                            }
                             vm.set(result, RtVal::P(p));
                             return Control::Next;
                         }
                     } else if let Some(slot) = vm.last_ptr_load {
                         if vm.mac_table.get(&slot) == Some(&expected) {
+                            if vm.rec.is_some() {
+                                vm.rec_push(RecKind::Auth, p, modifier, key_code(key));
+                            }
                             vm.set(result, RtVal::P(p));
                             return Control::Next;
                         }
                     }
                     vm.pac.fail_count += 1;
                     commit_pos(vm, bi, next_idx);
-                    Control::Trap(Box::new(vm.mac_stale_fail("pac_auth", site, modifier, expected)))
+                    Control::Trap(Box::new(vm.mac_stale_fail(
+                        "pac_auth",
+                        site,
+                        modifier,
+                        expected,
+                        p,
+                        key_code(key),
+                    )))
                 }
             })
         }
@@ -1198,6 +1243,9 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                 vm.site_counts[si] += 1;
                 let p = tri!(value.read_ptr(vm));
                 let stripped = vm.pac.strip(p);
+                if vm.rec.is_some() {
+                    vm.rec_push(RecKind::Strip, p, 0, KEY_NONE);
+                }
                 vm.set(result, RtVal::P(stripped));
                 Control::Next
             })
@@ -1211,6 +1259,8 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                         "pp_add",
                         fe,
                         PpFail::Conflict { ce: ce as u64, had },
+                        0,
+                        KEY_NONE,
                     )))
                 }
                 _ => {
@@ -1234,15 +1284,23 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                             "pp_sign",
                             ce as u64,
                             PpFail::NotRegistered { ce: ce as u64 },
+                            p,
+                            key_code(key),
                         )));
                     }
                 };
                 if !mac {
                     let signed = vm.pac.sign(key, p, fe);
+                    if vm.rec.is_some() {
+                        vm.rec_push(RecKind::Sign, signed, fe, key_code(key));
+                    }
                     vm.set(result, RtVal::P(signed));
                 } else {
                     vm.pac.sign_count += 1;
                     vm.pending_mac = Some(vm.pac.compute_pac(key, p, fe));
+                    if vm.rec.is_some() {
+                        vm.rec_push(RecKind::Sign, p, fe, key_code(key));
+                    }
                     vm.set(result, RtVal::P(p));
                 }
                 Control::Next
@@ -1268,7 +1326,13 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                 let ce = vm.img.va.tbi_tag(p);
                 if ce == 0 {
                     commit_pos(vm, bi, next_idx);
-                    return Control::Trap(Box::new(vm.pp_fail("pp_auth", 0, PpFail::MissingTag)));
+                    return Control::Trap(Box::new(vm.pp_fail(
+                        "pp_auth",
+                        0,
+                        PpFail::MissingTag,
+                        p,
+                        key_code(key),
+                    )));
                 }
                 let fe = match vm.pp_table.get(&ce) {
                     Some(&fe) => fe,
@@ -1278,6 +1342,8 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                             "pp_auth",
                             ce as u64,
                             PpFail::NotInStore { ce: ce as u64 },
+                            p,
+                            key_code(key),
                         )));
                     }
                 };
@@ -1285,6 +1351,9 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                 if !mac {
                     match vm.pac.auth(key, untagged, fe) {
                         Ok(clean) => {
+                            if vm.rec.is_some() {
+                                vm.rec_push(RecKind::Auth, untagged, fe, key_code(key));
+                            }
                             vm.set(result, RtVal::P(clean));
                             Control::Next
                         }
@@ -1296,6 +1365,8 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                                 fe,
                                 e.found_pac,
                                 e.expected_pac,
+                                untagged,
+                                key_code(key),
                             )))
                         }
                     }
@@ -1308,6 +1379,9 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                         _ => false,
                     };
                     if ok {
+                        if vm.rec.is_some() {
+                            vm.rec_push(RecKind::Auth, untagged, fe, key_code(key));
+                        }
                         vm.set(result, RtVal::P(untagged));
                         Control::Next
                     } else {
@@ -1318,6 +1392,8 @@ fn compile_inst(cx: &Cx<'_>, f: &Function, bi: usize, inst: &Inst, next_idx: usi
                             PacSite::OnLoad,
                             fe,
                             expected,
+                            untagged,
+                            key_code(key),
                         )))
                     }
                 }
@@ -1385,7 +1461,10 @@ impl<'img> Vm<'img> {
         // whole blocks), and that is what makes the two engines attribute
         // identically.
         let trace = self.trace_enabled;
-        let attr_on = self.attr.is_some();
+        // The flight recorder needs the same per-op treatment as
+        // attribution: events carry model-cycle timestamps, and only the
+        // slow path charges cycles in the interpreter's order.
+        let obs_on = self.attr.is_some() || self.rec.is_some();
         let mut budget = self.fuel.saturating_sub(self.insts);
         loop {
             let Some(cb) = fblocks.get(block) else {
@@ -1394,7 +1473,7 @@ impl<'img> Vm<'img> {
             };
             let n = cb.ops.len();
             let remaining = (n - idx) as u64 + 1;
-            if !trace && !attr_on && remaining <= budget {
+            if !trace && !obs_on && remaining <= budget {
                 // Fast path: charge the whole straight-line run *and the
                 // terminator* up front (cycle prefix sums), roll back the
                 // unexecuted suffix on any early exit. Totals match per-op
@@ -1517,6 +1596,7 @@ impl<'img> Vm<'img> {
     #[inline(never)]
     fn exec_block_slow(&mut self, cb: &CompiledBlock, idx: usize) -> Result<bool, Trap> {
         let attr_on = self.attr.is_some();
+        let rec_on = self.rec.is_some();
         for (op, charge) in cb.ops[idx..].iter().zip(&cb.charge[idx..]) {
             if self.insts >= self.fuel {
                 return Err(Trap::FuelExhausted);
@@ -1526,8 +1606,15 @@ impl<'img> Vm<'img> {
                 self.opclass[charge.class] += 1;
             }
             self.cycles += charge.cost;
+            // Recorder staging mirrors `exec_inst_obs`: PAC-family ops
+            // carry their check-site id (baked into the charge stream in
+            // the interpreter's scan order) so events and incident
+            // synthesis name the same site in both engines.
+            if rec_on && charge.class == OPCLASS_PAC {
+                self.rec.as_deref_mut().expect("recorder armed").cur_site = charge.site;
+            }
             // Attribution hooks mirror the interpreter's per-instruction
-            // path (`exec_inst_attr`) exactly: sample check after the
+            // path (`exec_inst_obs`) exactly: sample check after the
             // cycle charge, per-site accounting around the op.
             let ctl = if attr_on {
                 self.attr_maybe_sample();

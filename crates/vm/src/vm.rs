@@ -26,7 +26,10 @@ use rsti_ir::{
     TypeId, TypeLayout, ValueId, VarId,
 };
 use rsti_pac::{KeyId, PacKeys, PacUnit, VaConfig};
-use rsti_telemetry::{AuditRecord, CounterId, Event, Histogram, Phase};
+use rsti_telemetry::{
+    AuditRecord, CounterId, Event, Histogram, Incident, IncidentEvent, Phase, SignLineage,
+    INCIDENT_SCHEMA,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -221,6 +224,11 @@ pub struct ExecResult {
     /// [`Image::with_attr`]. Deterministic: interp and compiled runs of
     /// the same image produce identical profiles (parity-tested).
     pub attr: Option<Box<AttrProfile>>,
+    /// Forensic incident — present only when the image was built with
+    /// [`Image::with_record`] *and* the run ended in an RSTI detection
+    /// trap. Deterministic and bit-identical across engines (the fuzz
+    /// oracle and the parity suite diff it through `PartialEq`).
+    pub incident: Option<Box<Incident>>,
 }
 
 /// Order of [`ExecResult::site_counts`].
@@ -502,6 +510,163 @@ impl AttrState {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Flight recorder (violation forensics)
+// ---------------------------------------------------------------------------
+
+/// Default flight-recorder ring capacity. Sized so that the recorded
+/// window comfortably spans one pointer round trip (sign → store → scope
+/// churn → load → auth) on every Table 1 scenario while the ring stays a
+/// few KiB of plain `Copy` rows.
+pub const DEFAULT_RECORD_CAP: usize = 64;
+
+/// Key-code sentinel: no PA key involved in the event.
+const KEY_NONE: u8 = u8::MAX;
+
+fn key_code(k: KeyId) -> u8 {
+    match k {
+        KeyId::Ia => 0,
+        KeyId::Ib => 1,
+        KeyId::Da => 2,
+        KeyId::Db => 3,
+        KeyId::Ga => 4,
+    }
+}
+
+fn key_label(code: u8) -> &'static str {
+    match code {
+        0 => "ia",
+        1 => "ib",
+        2 => "da",
+        3 => "db",
+        4 => "ga",
+        _ => "",
+    }
+}
+
+/// The closed pointer-lifecycle event taxonomy the recorder captures.
+/// `name()` values are the serialized `IncidentEvent::kind` contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecKind {
+    Sign,
+    Auth,
+    AuthFail,
+    Strip,
+    Load,
+    Store,
+    Free,
+    ScopeEnter,
+    ScopeExit,
+    AttackerWrite,
+}
+
+impl RecKind {
+    fn name(self) -> &'static str {
+        match self {
+            RecKind::Sign => "sign",
+            RecKind::Auth => "auth",
+            RecKind::AuthFail => "auth_fail",
+            RecKind::Strip => "strip",
+            RecKind::Load => "load",
+            RecKind::Store => "store",
+            RecKind::Free => "free",
+            RecKind::ScopeEnter => "scope_enter",
+            RecKind::ScopeExit => "scope_exit",
+            RecKind::AttackerWrite => "attacker_write",
+        }
+    }
+}
+
+/// One compact ring row. Ids instead of names: resolution to an
+/// [`IncidentEvent`] happens once, at incident synthesis.
+#[derive(Debug, Clone, Copy)]
+struct RecEvent {
+    cycle: u64,
+    kind: RecKind,
+    /// Function id at event time ([`u32::MAX`] when no frame is live).
+    func: u32,
+    /// Check-site id for PAC-family events, else [`NO_SITE`].
+    site: u32,
+    addr: u64,
+    value: u64,
+    modifier: u64,
+    key: u8,
+}
+
+/// Per-run flight-recorder state, allocated only when [`Image::record`]
+/// is on. Mirrors [`AttrState`]'s discipline: events are captured at
+/// logic both engines share (or at mirrored points with identical
+/// arguments), timestamps come from the deterministic cycle model, and
+/// the recorder forces the compiled driver onto its per-op slow path —
+/// so interp and compiled runs record bit-identical windows.
+struct RecState {
+    /// The static check-site table, in deterministic scan order (the same
+    /// ids the attribution profiler uses).
+    sites: Vec<CheckSite>,
+    /// `(func, block, inst)` → site id, the interpreter's lookup. The
+    /// compiled engine reads the same ids off its `OpCharge` stream.
+    site_map: HashMap<(u32, u32, u32), u32>,
+    /// Bounded ring of recent events; `next` is the overwrite cursor
+    /// (the oldest row) once the ring is full.
+    ring: Vec<RecEvent>,
+    cap: usize,
+    next: usize,
+    dropped: u64,
+    /// Check-site id of the op currently executing (staged by the slow
+    /// paths before each PAC-family op; read by sign/auth/strip events).
+    cur_site: u32,
+    /// The synthesized incident, set at the first detection trap.
+    incident: Option<Box<Incident>>,
+}
+
+impl RecState {
+    fn new(module: &Module, cap: usize) -> Box<Self> {
+        let sites = check_sites(module);
+        let site_map = sites
+            .iter()
+            .map(|s| ((s.func, s.block, s.inst), s.id))
+            .collect::<HashMap<_, _>>();
+        let cap = cap.max(1);
+        Box::new(RecState {
+            sites,
+            site_map,
+            ring: Vec::with_capacity(cap.min(1024)),
+            cap,
+            next: 0,
+            dropped: 0,
+            cur_site: NO_SITE,
+            incident: None,
+        })
+    }
+
+    fn push(&mut self, ev: RecEvent) {
+        if self.ring.len() < self.cap {
+            self.ring.push(ev);
+        } else {
+            self.ring[self.next] = ev;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// The ring's contents oldest-first.
+    fn in_order(&self) -> Vec<RecEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.next..]);
+        out.extend_from_slice(&self.ring[..self.next]);
+        out
+    }
+}
+
+/// Resolves a check-site id to its stable label (empty for [`NO_SITE`]
+/// or an out-of-table id).
+fn site_label(sites: &[CheckSite], id: u32) -> String {
+    if id == NO_SITE {
+        return String::new();
+    }
+    sites.get(id as usize).map_or_else(String::new, |s| s.label())
+}
+
 /// How RSTI checks are enforced at runtime.
 ///
 /// The paper (§7, "RSTI with mechanisms other than PAC") argues the
@@ -621,6 +786,15 @@ pub struct Image {
     /// Sampling period for the call-path profiler, in model cycles
     /// (used only while `attr` is on).
     pub attr_sample_every: u64,
+    /// Flight recorder: a bounded ring of pointer-lifecycle events plus
+    /// incident synthesis at the first detection trap. Off by default and
+    /// inert like `attr` — with `false`, runs charge not one extra
+    /// cycle/inst and the VM's only cost is a handful of is-none
+    /// branches.
+    pub record: bool,
+    /// Ring capacity for the flight recorder (used only while `record`
+    /// is on).
+    pub record_cap: usize,
     /// Cache of closure-threaded code, filled on the first compiled run.
     compiled: CompiledCache,
 }
@@ -657,6 +831,22 @@ impl Image {
     pub fn with_attr_sampling(mut self, every: u64) -> Self {
         self.attr = true;
         self.attr_sample_every = every.max(1);
+        self
+    }
+
+    /// Arms the flight recorder (builder style) with the default ring
+    /// capacity: a trapped run then carries an [`Incident`] on its
+    /// [`ExecResult`].
+    pub fn with_record(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Arms the flight recorder with a custom ring capacity (builder
+    /// style). `0` is clamped to 1.
+    pub fn with_record_cap(mut self, cap: usize) -> Self {
+        self.record = true;
+        self.record_cap = cap.max(1);
         self
     }
 
@@ -738,6 +928,8 @@ impl Image {
             exec: ExecBackend::Interp,
             attr: false,
             attr_sample_every: DEFAULT_ATTR_SAMPLE_EVERY,
+            record: false,
+            record_cap: DEFAULT_RECORD_CAP,
             compiled: CompiledCache::empty(),
         }
     }
@@ -764,6 +956,8 @@ impl Image {
             exec: ExecBackend::Interp,
             attr: false,
             attr_sample_every: DEFAULT_ATTR_SAMPLE_EVERY,
+            record: false,
+            record_cap: DEFAULT_RECORD_CAP,
             compiled: CompiledCache::empty(),
         }
     }
@@ -900,6 +1094,9 @@ pub struct Vm<'img> {
     /// Attribution profiling state — `None` (one pointer-null branch per
     /// hook) unless the image enables it.
     attr: Option<Box<AttrState>>,
+    /// Flight-recorder state — `None` (one pointer-null branch per hook)
+    /// unless the image arms it.
+    rec: Option<Box<RecState>>,
 }
 
 /// Result of [`Vm::run_to_function`].
@@ -1036,6 +1233,7 @@ impl<'img> Vm<'img> {
             audit: Vec::new(),
             telemetry_flushed: false,
             attr: img.attr.then(|| AttrState::new(&img.module, img.attr_sample_every)),
+            rec: img.record.then(|| RecState::new(&img.module, img.record_cap)),
         };
         // A malformed image (no `main`, a `main` that cannot get a frame,
         // or data demands beyond what the VM hosts) loads into an
@@ -1076,7 +1274,16 @@ impl<'img> Vm<'img> {
     /// # Errors
     /// Fails only when the target is outside attacker-reachable memory.
     pub fn attacker_write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
-        self.mem.attacker_write(addr, bytes)
+        let r = self.mem.attacker_write(addr, bytes);
+        if r.is_ok() && self.rec.is_some() {
+            // The corruption itself lands in the flight-recorder window
+            // (first 8 bytes of the payload, little-endian).
+            let mut v = [0u8; 8];
+            let n = bytes.len().min(8);
+            v[..n].copy_from_slice(&bytes[..n]);
+            self.rec_plain(RecKind::AttackerWrite, addr, u64::from_le_bytes(v));
+        }
+        r
     }
 
     /// Arbitrary-read (information disclosure) primitive.
@@ -1187,6 +1394,7 @@ impl<'img> Vm<'img> {
             opclass_counts: self.opclass,
             audit: self.audit.clone(),
             attr: self.attr_profile(),
+            incident: self.rec.as_deref().and_then(|r| r.incident.clone()),
         }
     }
 
@@ -1269,11 +1477,13 @@ impl<'img> Vm<'img> {
         a.next_sample = (cycles / a.sample_every + 1) * a.sample_every;
     }
 
-    /// The interpreter's per-instruction path with attribution on: sample
-    /// check, then — for PAC-family ops — per-site accounting around the
-    /// execution. Outlined so `step`'s hot loop stays unchanged in shape.
+    /// The interpreter's per-instruction path with observation (attribution
+    /// and/or the flight recorder) on: sample check, then — for PAC-family
+    /// ops — check-site resolution, recorder staging, and per-site
+    /// accounting around the execution. Outlined so `step`'s hot loop
+    /// stays unchanged in shape.
     #[inline(never)]
-    fn exec_inst_attr(
+    fn exec_inst_obs(
         &mut self,
         inst: &Inst,
         func: u32,
@@ -1282,15 +1492,23 @@ impl<'img> Vm<'img> {
         cost: u64,
     ) -> Result<(), Trap> {
         self.attr_maybe_sample();
-        let sid = if opcode_class(inst) == OPCLASS_PAC {
-            self.attr
-                .as_deref()
-                .and_then(|a| a.site_map.get(&(func, block, idx)).copied())
-                .unwrap_or(NO_SITE)
-        } else {
-            NO_SITE
-        };
-        if sid == NO_SITE {
+        if opcode_class(inst) != OPCLASS_PAC {
+            return self.exec_inst(inst);
+        }
+        // Both observers share one site table (built identically); resolve
+        // through whichever is live.
+        let sid = self
+            .attr
+            .as_deref()
+            .map(|a| &a.site_map)
+            .or_else(|| self.rec.as_deref().map(|r| &r.site_map))
+            .and_then(|m| m.get(&(func, block, idx)).copied())
+            .unwrap_or(NO_SITE);
+        if let Some(r) = self.rec.as_deref_mut() {
+            // Stage the failing-op site for the events this op records.
+            r.cur_site = sid;
+        }
+        if self.attr.is_none() || sid == NO_SITE {
             return self.exec_inst(inst);
         }
         let (s0, a0) = (self.pac.sign_count, self.pac.auth_count);
@@ -1397,6 +1615,163 @@ impl<'img> Vm<'img> {
         }))
     }
 
+    // ---- flight-recorder hooks ---------------------------------------------
+    //
+    // Every call site below guards on `rec.is_some()`, so with the
+    // recorder off (the default) its entire footprint is a few never-taken
+    // branches — the same inertness discipline as the attribution hooks.
+    // Events fire either from code both engines share (push_frame,
+    // exec_term, store_typed, the attacker API) or from mirrored points
+    // with identical arguments (the interpreter's PAC/Load/Free arms and
+    // the compiled closures), so recorded windows are engine-identical.
+
+    /// Records one PAC-family event at the currently staged check site.
+    #[inline(never)]
+    fn rec_push(&mut self, kind: RecKind, value: u64, modifier: u64, key: u8) {
+        let cycle = self.cycles;
+        let func = self.frames.last().map_or(u32::MAX, |f| f.func.0);
+        let r = self.rec.as_deref_mut().expect("recorder armed");
+        let site = r.cur_site;
+        r.push(RecEvent { cycle, kind, func, site, addr: 0, value, modifier, key });
+    }
+
+    /// Records one siteless event (load/store/free/attacker-write).
+    #[inline(never)]
+    fn rec_plain(&mut self, kind: RecKind, addr: u64, value: u64) {
+        let cycle = self.cycles;
+        let func = self.frames.last().map_or(u32::MAX, |f| f.func.0);
+        let r = self.rec.as_deref_mut().expect("recorder armed");
+        r.push(RecEvent {
+            cycle,
+            kind,
+            func,
+            site: NO_SITE,
+            addr,
+            value,
+            modifier: 0,
+            key: KEY_NONE,
+        });
+    }
+
+    /// Records a scope transition for `fid` (the entered/exited function).
+    #[inline(never)]
+    fn rec_scope(&mut self, kind: RecKind, fid: FuncId) {
+        let cycle = self.cycles;
+        let r = self.rec.as_deref_mut().expect("recorder armed");
+        r.push(RecEvent {
+            cycle,
+            kind,
+            func: fid.0,
+            site: NO_SITE,
+            addr: 0,
+            value: 0,
+            modifier: 0,
+            key: KEY_NONE,
+        });
+    }
+
+    /// Synthesizes the structured [`Incident`] for the first detection
+    /// trap of a recorded run: records the trap's own `auth_fail` event,
+    /// resolves the sign-site lineage of the presented value from the
+    /// ring, and freezes the scope timeline and event window. Cold — a
+    /// detection ends the run.
+    #[cold]
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn rec_synthesize(
+        &mut self,
+        trap: &'static str,
+        inst: &'static str,
+        pac_site: &'static str,
+        modifier: u64,
+        value: u64,
+        key: u8,
+        found: u64,
+        expected: u64,
+    ) {
+        // The trap itself closes the window.
+        self.rec_push(RecKind::AuthFail, value, modifier, key);
+        let img = self.img;
+        let m = &img.module;
+        let func = self.cur_func_name();
+        let line = self.cur_line();
+        let cycle = self.cycles;
+        let detail = self.audit.last().map(|a| a.detail.clone()).unwrap_or_default();
+        let Some(r) = self.rec.as_deref() else { return };
+        if r.incident.is_some() {
+            return; // first detection only
+        }
+        let events = r.in_order();
+        let resolve = |e: &RecEvent| IncidentEvent {
+            cycle: e.cycle,
+            kind: e.kind.name().to_string(),
+            func: m
+                .funcs
+                .get(e.func as usize)
+                .map_or_else(|| "<none>".to_string(), |f| f.name.clone()),
+            site: site_label(&r.sites, e.site),
+            addr: e.addr,
+            value: e.value,
+            modifier: e.modifier,
+            key: key_label(e.key).to_string(),
+        };
+        // Lineage: the last sign event that produced exactly the bits the
+        // failing check authenticated. A replayed signature resolves to
+        // its original mint (exposing the modifier it was minted for); a
+        // raw overwrite resolves to nothing.
+        let lineage = events
+            .iter()
+            .rev()
+            .find(|e| e.kind == RecKind::Sign && e.value == value && value != 0)
+            .map(|e| SignLineage {
+                site: site_label(&r.sites, e.site),
+                func: m
+                    .funcs
+                    .get(e.func as usize)
+                    .map_or_else(|| "<none>".to_string(), |f| f.name.clone()),
+                cycle: e.cycle,
+                modifier: e.modifier,
+                key: key_label(e.key).to_string(),
+            });
+        let scope_timeline: Vec<IncidentEvent> = events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, RecKind::ScopeEnter | RecKind::ScopeExit | RecKind::Free)
+            })
+            .map(&resolve)
+            .collect();
+        let window: Vec<IncidentEvent> = events.iter().map(&resolve).collect();
+        let inc = Incident {
+            schema: INCIDENT_SCHEMA,
+            mechanism: img
+                .mechanism
+                .map_or_else(|| "baseline".to_string(), |mm| mm.name().to_string()),
+            enforcement: match img.backend {
+                Backend::PacInPointer => "pac_in_pointer",
+                Backend::MacTable => "mac_table",
+            }
+            .to_string(),
+            trap: trap.to_string(),
+            cycle,
+            func,
+            line,
+            check_site: site_label(&r.sites, r.cur_site),
+            check_kind: inst.to_string(),
+            pac_site: pac_site.to_string(),
+            presented_modifier: modifier,
+            presented_key: key_label(key).to_string(),
+            presented_value: value,
+            found_pac: found,
+            expected_pac: expected,
+            lineage,
+            scope_timeline,
+            window,
+            dropped_events: r.dropped,
+            detail,
+        };
+        self.rec.as_deref_mut().expect("recorder armed").incident = Some(Box::new(inc));
+    }
+
     /// Adds the run's accumulated counts into the global collector and
     /// emits the end-of-run event. Runs once per finished execution; a
     /// disabled collector reduces this to two branches.
@@ -1476,9 +1851,12 @@ impl<'img> Vm<'img> {
         self.audit.push(rec);
     }
 
-    /// PAC mismatch on an `aut` (pac-in-pointer backend).
+    /// PAC mismatch on an `aut` (pac-in-pointer backend). `value`/`key`
+    /// are the presented bits and key — the flight recorder's forensic
+    /// inputs when it is armed.
     #[cold]
     #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
     fn pac_auth_fail(
         &mut self,
         inst: &'static str,
@@ -1486,6 +1864,8 @@ impl<'img> Vm<'img> {
         modifier: u64,
         found: u64,
         expected: u64,
+        value: u64,
+        key: u8,
     ) -> Trap {
         self.record_audit(
             site_name(site),
@@ -1493,6 +1873,18 @@ impl<'img> Vm<'img> {
             modifier,
             format!("found PAC {found:#x}, expected {expected:#x}"),
         );
+        if self.rec.is_some() {
+            self.rec_synthesize(
+                "pac_auth_failure",
+                inst,
+                site_name(site),
+                modifier,
+                value,
+                key,
+                found,
+                expected,
+            );
+        }
         Trap::PacAuthFailure {
             func: self.cur_func_name(),
             line: self.cur_line(),
@@ -1511,6 +1903,8 @@ impl<'img> Vm<'img> {
         site: PacSite,
         modifier: u64,
         expected: u64,
+        value: u64,
+        key: u8,
     ) -> Trap {
         self.record_audit(
             site_name(site),
@@ -1518,6 +1912,18 @@ impl<'img> Vm<'img> {
             modifier,
             format!("MAC missing or stale, expected {expected:#x}"),
         );
+        if self.rec.is_some() {
+            self.rec_synthesize(
+                "pac_auth_failure",
+                inst,
+                site_name(site),
+                modifier,
+                value,
+                key,
+                0,
+                expected,
+            );
+        }
         Trap::PacAuthFailure {
             func: self.cur_func_name(),
             line: self.cur_line(),
@@ -1530,7 +1936,14 @@ impl<'img> Vm<'img> {
     /// Pointer-to-pointer metadata failure.
     #[cold]
     #[inline(never)]
-    fn pp_fail(&mut self, inst: &'static str, modifier: u64, f: PpFail) -> Trap {
+    fn pp_fail(
+        &mut self,
+        inst: &'static str,
+        modifier: u64,
+        f: PpFail,
+        value: u64,
+        key: u8,
+    ) -> Trap {
         let (detail, reason) = match f {
             PpFail::Conflict { ce, had } => (
                 format!("CE {ce} metadata conflict (had {had:#x})"),
@@ -1550,6 +1963,9 @@ impl<'img> Vm<'img> {
             ),
         };
         self.record_audit("pp_metadata", inst, modifier, detail);
+        if self.rec.is_some() {
+            self.rec_synthesize("pp_auth_failure", inst, "pp_metadata", modifier, value, key, 0, 0);
+        }
         Trap::PpAuthFailure { func: self.cur_func_name(), reason }
     }
 
@@ -1651,6 +2067,10 @@ impl<'img> Vm<'img> {
         self.reg_base = base;
         self.cur_gen = frame.gen;
         self.frames.push(frame);
+        if self.rec.is_some() {
+            // Scope entry, recorded in the one prologue both engines share.
+            self.rec_scope(RecKind::ScopeEnter, fid);
+        }
         Ok(())
     }
 
@@ -1801,7 +2221,14 @@ impl<'img> Vm<'img> {
             (Type::F64, RtVal::I(i)) => self.mem.write_arr::<8>(addr, (i as f64).to_le_bytes()),
             (Type::Ptr(_), v) => {
                 let p = self.as_ptr(v)?;
-                self.mem.write_arr::<8>(addr, p.to_le_bytes())
+                let w = self.mem.write_arr::<8>(addr, p.to_le_bytes());
+                if w.is_ok() && self.rec.is_some() {
+                    // A pointer slot changed hands — the lifecycle event
+                    // lineage resolution walks back through. (The compiled
+                    // engine's inlined ptr-store closure mirrors this.)
+                    self.rec_plain(RecKind::Store, addr, p);
+                }
+                w
             }
             (t, v) => {
                 return Err(Trap::BadProgram(format!("store of {v:?} into {t:?}")))
@@ -1868,11 +2295,11 @@ impl<'img> Vm<'img> {
         };
         let mut idx = fr.idx;
 
-        // The attribution check is hoisted out of the per-instruction
-        // loop: with the profiler off (the default), the hot loop below is
-        // exactly the pre-profiler loop — one pointer-null test per block,
-        // zero per-instruction cost.
-        if self.attr.is_none() {
+        // The observation check is hoisted out of the per-instruction
+        // loop: with the profiler and recorder off (the default), the hot
+        // loop below is exactly the pre-profiler loop — two pointer-null
+        // tests per block, zero per-instruction cost.
+        if self.attr.is_none() && self.rec.is_none() {
             while idx < blk.insts.len() {
                 if self.insts >= self.fuel {
                     return Err(Trap::FuelExhausted);
@@ -1910,7 +2337,7 @@ impl<'img> Vm<'img> {
                 self.frames.last_mut().expect("active frame").idx = idx;
                 let cost = img.cost.cost(inst);
                 self.cycles += cost;
-                self.exec_inst_attr(inst, cur_func, cur_block, node_idx, cost)?;
+                self.exec_inst_obs(inst, cur_func, cur_block, node_idx, cost)?;
                 if self.frames.len() != depth || self.status.is_some() {
                     return Ok(());
                 }
@@ -1984,6 +2411,9 @@ impl<'img> Vm<'img> {
                         let fr = self.frames.pop().expect("frame");
                         self.stack_top = fr.stack_mark;
                         self.sync_reg_window(fr.reg_base);
+                        if self.rec.is_some() {
+                            self.rec_scope(RecKind::ScopeExit, fr.func);
+                        }
                         self.recycle(fr);
                         let target = self.img.va.canonical(found);
                         return match resolve_code_addr(&self.img.module, target) {
@@ -2012,6 +2442,11 @@ impl<'img> Vm<'img> {
                 if let Some(a) = self.attr.as_deref_mut() {
                     // Completed activation: inclusive cycles, entry→return.
                     a.funcs[fr.func.0 as usize].incl.record(self.cycles - fr.entry_cycles);
+                }
+                if self.rec.is_some() {
+                    // Scope exit, in the one epilogue both engines share
+                    // (the compiled engine defers `Ret` to `exec_term`).
+                    self.rec_scope(RecKind::ScopeExit, fr.func);
                 }
                 if self.frames.is_empty() {
                     let code = match val {
@@ -2084,6 +2519,11 @@ impl<'img> Vm<'img> {
                 let v = self.load_typed(addr, *ty)?;
                 if img.backend == Backend::MacTable && m.types.is_ptr(*ty) {
                     self.last_ptr_load = Some(addr);
+                }
+                if self.rec.is_some() && m.types.is_ptr(*ty) {
+                    if let RtVal::P(bits) = v {
+                        self.rec_plain(RecKind::Load, addr, bits);
+                    }
                 }
                 self.set(*result, v);
                 Ok(())
@@ -2230,6 +2670,9 @@ impl<'img> Vm<'img> {
             Inst::Free { ptr } => {
                 let p = self.as_ptr(self.eval(ptr)?)?;
                 let a = self.img.va.canonical(p);
+                if self.rec.is_some() {
+                    self.rec_plain(RecKind::Free, a, p);
+                }
                 if a != 0 && !self.alloc.free(a) {
                     self.events.push(ExtEvent {
                         name: "invalid_free".into(),
@@ -2258,6 +2701,9 @@ impl<'img> Vm<'img> {
                 match img.backend {
                     Backend::PacInPointer => {
                         let signed = self.pac.sign(key_id(*key), p, modifier);
+                        if self.rec.is_some() {
+                            self.rec_push(RecKind::Sign, signed, modifier, key_code(key_id(*key)));
+                        }
                         self.set(*result, RtVal::P(signed));
                     }
                     Backend::MacTable => {
@@ -2267,6 +2713,9 @@ impl<'img> Vm<'img> {
                         self.pac.sign_count += 1;
                         let mac = self.pac.compute_pac(key_id(*key), p, modifier);
                         self.pending_mac = Some(mac);
+                        if self.rec.is_some() {
+                            self.rec_push(RecKind::Sign, p, modifier, key_code(key_id(*key)));
+                        }
                         self.set(*result, RtVal::P(p));
                     }
                 }
@@ -2279,6 +2728,9 @@ impl<'img> Vm<'img> {
                 match img.backend {
                     Backend::PacInPointer => match self.pac.auth(key_id(*key), p, modifier) {
                         Ok(clean) => {
+                            if self.rec.is_some() {
+                                self.rec_push(RecKind::Auth, p, modifier, key_code(key_id(*key)));
+                            }
                             self.set(*result, RtVal::P(clean));
                             Ok(())
                         }
@@ -2288,6 +2740,8 @@ impl<'img> Vm<'img> {
                             modifier,
                             e.found_pac,
                             e.expected_pac,
+                            p,
+                            key_code(key_id(*key)),
                         )),
                     },
                     Backend::MacTable => {
@@ -2296,17 +2750,40 @@ impl<'img> Vm<'img> {
                         // Register-domain round trip (cast/arg re-sign)?
                         if let Some(mac) = self.pending_mac.take() {
                             if mac == expected {
+                                if self.rec.is_some() {
+                                    self.rec_push(
+                                        RecKind::Auth,
+                                        p,
+                                        modifier,
+                                        key_code(key_id(*key)),
+                                    );
+                                }
                                 self.set(*result, RtVal::P(p));
                                 return Ok(());
                             }
                         } else if let Some(slot) = self.last_ptr_load {
                             if self.mac_table.get(&slot) == Some(&expected) {
+                                if self.rec.is_some() {
+                                    self.rec_push(
+                                        RecKind::Auth,
+                                        p,
+                                        modifier,
+                                        key_code(key_id(*key)),
+                                    );
+                                }
                                 self.set(*result, RtVal::P(p));
                                 return Ok(());
                             }
                         }
                         self.pac.fail_count += 1;
-                        Err(self.mac_stale_fail("pac_auth", *site, modifier, expected))
+                        Err(self.mac_stale_fail(
+                            "pac_auth",
+                            *site,
+                            modifier,
+                            expected,
+                            p,
+                            key_code(key_id(*key)),
+                        ))
                     }
                 }
             }
@@ -2314,6 +2791,9 @@ impl<'img> Vm<'img> {
                 self.site_counts[site_index(PacSite::ExternalStrip)] += 1;
                 let p = self.as_ptr(self.eval(value)?)?;
                 let stripped = self.pac.strip(p);
+                if self.rec.is_some() {
+                    self.rec_push(RecKind::Strip, p, 0, KEY_NONE);
+                }
                 self.set(*result, RtVal::P(stripped));
                 Ok(())
             }
@@ -2323,6 +2803,8 @@ impl<'img> Vm<'img> {
                         "pp_add",
                         *fe_modifier,
                         PpFail::Conflict { ce: *ce as u64, had: fe },
+                        0,
+                        KEY_NONE,
                     )),
                     _ => {
                         self.pp_table.insert(*ce, *fe_modifier);
@@ -2339,18 +2821,26 @@ impl<'img> Vm<'img> {
                             "pp_sign",
                             *ce as u64,
                             PpFail::NotRegistered { ce: *ce as u64 },
+                            p,
+                            key_code(key_id(*key)),
                         ));
                     }
                 };
                 match img.backend {
                     Backend::PacInPointer => {
                         let signed = self.pac.sign(key_id(*key), p, fe);
+                        if self.rec.is_some() {
+                            self.rec_push(RecKind::Sign, signed, fe, key_code(key_id(*key)));
+                        }
                         self.set(*result, RtVal::P(signed));
                     }
                     Backend::MacTable => {
                         self.pac.sign_count += 1;
                         self.pending_mac =
                             Some(self.pac.compute_pac(key_id(*key), p, fe));
+                        if self.rec.is_some() {
+                            self.rec_push(RecKind::Sign, p, fe, key_code(key_id(*key)));
+                        }
                         self.set(*result, RtVal::P(p));
                     }
                 }
@@ -2365,7 +2855,13 @@ impl<'img> Vm<'img> {
                 let p = self.as_ptr(self.eval(value)?)?;
                 let ce = self.img.va.tbi_tag(p);
                 if ce == 0 {
-                    return Err(self.pp_fail("pp_auth", 0, PpFail::MissingTag));
+                    return Err(self.pp_fail(
+                        "pp_auth",
+                        0,
+                        PpFail::MissingTag,
+                        p,
+                        key_code(key_id(*key)),
+                    ));
                 }
                 let fe = match self.pp_table.get(&ce) {
                     Some(&fe) => fe,
@@ -2374,6 +2870,8 @@ impl<'img> Vm<'img> {
                             "pp_auth",
                             ce as u64,
                             PpFail::NotInStore { ce: ce as u64 },
+                            p,
+                            key_code(key_id(*key)),
                         ));
                     }
                 };
@@ -2382,6 +2880,14 @@ impl<'img> Vm<'img> {
                     Backend::PacInPointer => {
                         match self.pac.auth(key_id(*key), untagged, fe) {
                             Ok(clean) => {
+                                if self.rec.is_some() {
+                                    self.rec_push(
+                                        RecKind::Auth,
+                                        untagged,
+                                        fe,
+                                        key_code(key_id(*key)),
+                                    );
+                                }
                                 self.set(*result, RtVal::P(clean));
                                 Ok(())
                             }
@@ -2391,6 +2897,8 @@ impl<'img> Vm<'img> {
                                 fe,
                                 e.found_pac,
                                 e.expected_pac,
+                                untagged,
+                                key_code(key_id(*key)),
                             )),
                         }
                     }
@@ -2406,11 +2914,26 @@ impl<'img> Vm<'img> {
                             _ => false,
                         };
                         if ok {
+                            if self.rec.is_some() {
+                                self.rec_push(
+                                    RecKind::Auth,
+                                    untagged,
+                                    fe,
+                                    key_code(key_id(*key)),
+                                );
+                            }
                             self.set(*result, RtVal::P(untagged));
                             Ok(())
                         } else {
                             self.pac.fail_count += 1;
-                            Err(self.mac_stale_fail("pp_auth", PacSite::OnLoad, fe, expected))
+                            Err(self.mac_stale_fail(
+                                "pp_auth",
+                                PacSite::OnLoad,
+                                fe,
+                                expected,
+                                untagged,
+                                key_code(key_id(*key)),
+                            ))
                         }
                     }
                 }

@@ -331,3 +331,157 @@ fn site_count_parity_under_stl() {
     let r = assert_parity(&img, 10_000_000, None, "stl-sites");
     assert!(r.site_counts.iter().sum::<u64>() > 0, "STL run exercised no PA sites");
 }
+
+// ---- violation forensics parity -------------------------------------------
+
+/// Audit records agree field by field — not just on the trap message —
+/// between the engines, for every mechanism × enforcement backend. The
+/// `ExecResult` equality in `assert_parity` subsumes this, but spelling
+/// each field out keeps a divergence diagnosable (and pins the claim even
+/// if `ExecResult`'s derive ever changes).
+#[test]
+fn audit_record_full_field_parity() {
+    let corrupt: &dyn Fn(&mut Vm) = &|vm| {
+        let obj = vm.heap_live()[0].0;
+        let gadget = vm.func_addr("gadget").unwrap();
+        vm.attacker_write_u64(obj + 8, gadget).unwrap();
+    };
+    for mech in Mechanism::ALL {
+        for enforce in [Backend::PacInPointer, Backend::MacTable] {
+            let img = instrumented(VICTIM, mech, OptLevel::Cfg).with_backend(enforce);
+            let label = format!("{mech:?}/{enforce:?}");
+            let i = run_one(&img, ExecBackend::Interp, 10_000_000, Some(corrupt));
+            let c = run_one(&img, ExecBackend::Compiled, 10_000_000, Some(corrupt));
+            assert_eq!(i.audit.len(), c.audit.len(), "{label}: audit count");
+            for (a, b) in i.audit.iter().zip(&c.audit) {
+                assert_eq!(a.mechanism, b.mechanism, "{label}: mechanism");
+                assert_eq!(a.modifier, b.modifier, "{label}: modifier");
+                assert_eq!(a.site, b.site, "{label}: site");
+                assert_eq!(a.func, b.func, "{label}: func");
+                assert_eq!(a.line, b.line, "{label}: line");
+                assert_eq!(a.inst, b.inst, "{label}: inst");
+                assert_eq!(a.detail, b.detail, "{label}: detail");
+            }
+        }
+    }
+}
+
+/// With the flight recorder armed, an RSTI detection synthesizes an
+/// incident, and the whole incident — lineage, event window, model-cycle
+/// timestamps — is bit-identical across engines (it rides on the
+/// `ExecResult` equality in `assert_parity`). Non-RSTI traps (e.g. a
+/// non-canonical call under a PAC-bit-breaking corruption) produce none.
+#[test]
+fn incident_parity_per_mechanism() {
+    let corrupt: &dyn Fn(&mut Vm) = &|vm| {
+        let obj = vm.heap_live()[0].0;
+        let gadget = vm.func_addr("gadget").unwrap();
+        vm.attacker_write_u64(obj + 8, gadget).unwrap();
+    };
+    let mut incidents = 0;
+    for mech in Mechanism::ALL {
+        for opt in OptLevel::ALL {
+            for enforce in [Backend::PacInPointer, Backend::MacTable] {
+                let img = instrumented(VICTIM, mech, opt)
+                    .with_backend(enforce)
+                    .with_record();
+                let label = format!("{mech:?}/{opt:?}/{enforce:?}");
+                let r = assert_parity(&img, 10_000_000, Some(corrupt), &label);
+                let detected =
+                    matches!(&r.status, Status::Trapped(t) if t.is_detection());
+                assert_eq!(
+                    r.incident.is_some(),
+                    detected,
+                    "{label}: incident iff RSTI detection"
+                );
+                let Some(inc) = &r.incident else { continue };
+                incidents += 1;
+                assert_eq!(inc.mechanism, mech.name(), "{label}");
+                assert!(
+                    inc.check_site.starts_with("fire:"),
+                    "{label}: failing check site names the victim function, got {:?}",
+                    inc.check_site
+                );
+                assert!(!inc.window.is_empty(), "{label}: event window present");
+                assert_eq!(
+                    inc.window.last().map(|e| e.kind.as_str()),
+                    Some("auth_fail"),
+                    "{label}: window closes with the failing auth"
+                );
+                // The raw overwrite planted a never-signed value: lineage
+                // must come up empty and the verdict must say so.
+                assert!(inc.lineage.is_none(), "{label}: raw write has no sign lineage");
+                assert!(inc.verdict().contains("never signed"), "{label}: {}", inc.verdict());
+            }
+        }
+    }
+    assert!(incidents > 0, "no configuration produced an incident");
+}
+
+/// Recorder inertness: with `--record` off the result — cycles, insts,
+/// counters, audit — is bit-identical to a build that never arms the
+/// recorder, under both engines (the PR 7 attr-off discipline).
+#[test]
+fn recorder_off_is_inert() {
+    for exec in [ExecBackend::Interp, ExecBackend::Compiled] {
+        let plain = instrumented(MIXED, Mechanism::Stwc, OptLevel::Cfg).with_exec(exec);
+        let armed = plain.clone().with_record();
+        let off = Vm::new(&plain).run();
+        let on = Vm::new(&armed).run();
+        assert_eq!(off.status, on.status, "{}", exec.label());
+        assert_eq!(off.output, on.output, "{}", exec.label());
+        assert_eq!(off.cycles, on.cycles, "{}: recorder must not change the cycle model", exec.label());
+        assert_eq!(off.insts, on.insts, "{}", exec.label());
+        assert_eq!(off.pac_signs, on.pac_signs, "{}", exec.label());
+        assert_eq!(off.pac_auths, on.pac_auths, "{}", exec.label());
+        assert_eq!(off.site_counts, on.site_counts, "{}", exec.label());
+        assert_eq!(off.audit, on.audit, "{}", exec.label());
+        // A clean run never synthesizes an incident, armed or not.
+        assert_eq!(off.incident, None, "{}", exec.label());
+        assert_eq!(on.incident, None, "{}", exec.label());
+    }
+}
+
+/// A replayed (previously signed, wrong-context) pointer resolves to its
+/// sign site: the attacker copies the signed bits from one slot over
+/// another, and the incident's lineage names the original sign event
+/// while the verdict calls out the modifier mismatch — identically under
+/// both engines.
+#[test]
+fn replay_incident_carries_sign_lineage() {
+    let src = r#"
+        struct alpha { long v; };
+        struct beta { long v; };
+        struct alpha* ga;
+        struct beta* gb;
+        long fire() { return ga->v + gb->v; }
+        int main() {
+            ga = (struct alpha*) malloc(sizeof(struct alpha));
+            gb = (struct beta*) malloc(sizeof(struct beta));
+            ga->v = 1;
+            gb->v = 2;
+            return (int) fire();
+        }
+    "#;
+    let replay: &dyn Fn(&mut Vm) = &|vm| {
+        // Substitute the signed beta pointer into alpha's slot: a replay
+        // of a legitimately signed value into the wrong context.
+        let src_a = vm.global_addr("gb").unwrap();
+        let dst_a = vm.global_addr("ga").unwrap();
+        let bytes = vm.attacker_read(src_a, 8).unwrap();
+        vm.attacker_write(dst_a, &bytes).unwrap();
+    };
+    let img = instrumented(src, Mechanism::Stwc, OptLevel::None).with_record();
+    let r = assert_parity(&img, 10_000_000, Some(replay), "replay-lineage");
+    assert!(
+        matches!(&r.status, Status::Trapped(t) if t.is_detection()),
+        "{:?}",
+        r.status
+    );
+    let inc = r.incident.expect("detection synthesizes an incident");
+    let lin = inc.lineage.as_ref().expect("replayed value was legitimately signed");
+    assert_eq!(lin.func, "main", "signed while main initialized the globals");
+    assert!(lin.cycle < inc.cycle, "sign precedes the failing auth");
+    assert_ne!(lin.modifier, inc.presented_modifier, "cross-type replay");
+    assert!(inc.verdict().contains("modifier mismatch"), "{}", inc.verdict());
+}
