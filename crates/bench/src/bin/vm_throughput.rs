@@ -124,6 +124,61 @@ fn assert_mix_parity(interp: &MixResult, compiled: &MixResult, what: &str) {
     assert_eq!(interp.pac_auths, compiled.pac_auths, "{what}: pac_auth totals diverge");
 }
 
+/// Measures the `rsti serve` cache effect end-to-end: the same request
+/// cold (fresh server: full parse → lower → instrument → optimize →
+/// translate → run) vs warm (cache hit: run only). The request is a
+/// big-code/small-run composite — every kernel family at one iteration —
+/// so pipeline cost dominates the cold path the way it does for a
+/// service's first sight of a module; the warm/cold ratio is then a
+/// pipeline-amortization measurement, not a VM-throughput one. Returns
+/// `(cold_ms, warm_ms, speedup)`, min-of-N on both sides.
+fn measure_serve() -> (f64, f64, f64) {
+    use rsti_workloads::kernels as k;
+    let mut kernels = Vec::new();
+    for c in 0..2 {
+        kernels.push(k::list_kernel(&format!("l{c}"), 3, 1));
+        kernels.push(k::dispatch_kernel(&format!("d{c}"), 3, 1));
+        kernels.push(k::string_kernel(&format!("s{c}"), 4, 1));
+        kernels.push(k::numeric_kernel(&format!("n{c}"), 4, 1));
+        kernels.push(k::float_kernel(&format!("f{c}"), 3, 1));
+        kernels.push(k::graph_kernel(&format!("g{c}"), 3, 1));
+        kernels.push(k::server_kernel(&format!("v{c}"), 2, 1));
+        kernels.push(k::interp_kernel(&format!("i{c}"), 4, 1));
+        kernels.push(k::tree_kernel(&format!("t{c}"), 4, 1));
+    }
+    let src = k::assemble(&kernels);
+    let line = format!(
+        "{{\"id\":1,\"cmd\":\"run\",\"source\":{},\"mech\":\"stwc\",\"opt\":\"cfg\",\
+         \"exec\":\"compiled\",\"enforce\":\"pac\"}}",
+        rsti_telemetry::json_str(&src)
+    );
+    let mut cold = f64::INFINITY;
+    for _ in 0..5 {
+        let server = rsti_serve::Server::new(rsti_serve::ServeConfig::default());
+        let t = Instant::now();
+        let resp = server.handle_line(&line);
+        cold = cold.min(t.elapsed().as_secs_f64());
+        assert!(resp.contains("\"cache\":\"miss\""), "fresh server must miss: {resp}");
+        assert!(resp.contains("\"status\":\"exit 0\""), "{resp}");
+    }
+    let server = rsti_serve::Server::new(rsti_serve::ServeConfig::default());
+    let first = server.handle_line(&line);
+    let mut warm = f64::INFINITY;
+    let mut warm_resp = String::new();
+    for _ in 0..30 {
+        let t = Instant::now();
+        warm_resp = server.handle_line(&line);
+        warm = warm.min(t.elapsed().as_secs_f64());
+    }
+    assert!(warm_resp.contains("\"cache\":\"hit\""), "{warm_resp}");
+    assert_eq!(
+        warm_resp.replace("\"cache\":\"hit\"", "\"cache\":\"miss\""),
+        first,
+        "warm serve responses must be byte-identical to the cold response"
+    );
+    (cold * 1e3, warm * 1e3, cold / warm)
+}
+
 fn main() {
     // Warm up caches/allocator, then measure. The telemetry-disabled mix
     // is the default state and the one the trajectory tracks; the same
@@ -219,6 +274,15 @@ fn main() {
     println!("  attr-on insts/s       : {aips:.0}  (profiler costs {attr_delta_pct:+.2}%, interp)");
     println!("  record-on insts/s     : {rips:.0}  (recorder costs {record_delta_pct:+.2}%, interp)");
 
+    // The serve-cache amortization headline: one request, cold vs warm.
+    let (serve_cold_ms, serve_warm_ms, serve_speedup) = measure_serve();
+    println!(
+        "  serve cold -> warm    : {serve_cold_ms:.2} ms -> {serve_warm_ms:.3} ms  (x{serve_speedup:.1} via module cache)"
+    );
+    if serve_speedup < 10.0 {
+        println!("  WARNING: serve_warm_speedup {serve_speedup:.1} below the 10x acceptance bar");
+    }
+
     // The optimizer-level ablation on the same mix, under both engines:
     // fewer executed checks ⇒ fewer instructions ⇒ more useful work per
     // second. Engines run paired per image, like the headline, so
@@ -285,6 +349,9 @@ fn main() {
          \"attr_cost_pct\": {attr_delta_pct:.2},\n  \
          \"record_on_insts_per_sec\": {rips:.0},\n  \
          \"record_cost_pct\": {record_delta_pct:.2},\n  \
+         \"serve_cold_ms\": {serve_cold_ms:.3},\n  \
+         \"serve_warm_ms\": {serve_warm_ms:.4},\n  \
+         \"serve_warm_speedup\": {serve_speedup:.1},\n  \
          \"opt_levels\": [\n{levels_json}\n  ]\n}}\n",
         m.insts, m.cycles, m.secs
     );
@@ -306,6 +373,7 @@ fn main() {
          \"compiled_telemetry_cost_pct\": {con_delta_pct:.2}, \
          \"attr_on_insts_per_sec\": {aips:.0}, \"attr_cost_pct\": {attr_delta_pct:.2}, \
          \"record_cost_pct\": {record_delta_pct:.2}, \
+         \"serve_warm_speedup\": {serve_speedup:.1}, \
          \"instructions\": {}, \"cycle_model_total\": {}, \"pac_auths\": {}}}\n",
         m.insts, m.cycles, m.pac_auths
     );

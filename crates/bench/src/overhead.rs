@@ -180,13 +180,21 @@ pub fn measure_suite_with_threads(
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(w) = ws.get(i) else { break };
                 let row = measure(w);
-                *slots[i].lock().expect("no panics while holding slot") = Some(row);
+                // Same poison-recovery policy as the serve cache and the
+                // telemetry sink: the guarded state is a plain slot write,
+                // so a panicked peer cannot have left it half-updated —
+                // recover the guard rather than cascading the panic.
+                *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(row);
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| slot.into_inner().expect("scope joined all workers").expect("every slot filled"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every slot filled")
+        })
         .collect()
 }
 

@@ -141,6 +141,15 @@ pub fn run_cli(args: &[String]) -> (i32, String) {
             Err(e) => (1, format!("error: {e}\n{USAGE}")),
         };
     }
+    // `serve` streams JSONL responses straight to stdout while running
+    // (returning them in one batch would defeat a long-lived service), so
+    // it bypasses `dispatch` as well.
+    if args.first().map(String::as_str) == Some("serve") {
+        return match cmd_serve(args) {
+            Ok(r) => r,
+            Err(e) => (1, format!("error: {e}\n{USAGE}")),
+        };
+    }
     match dispatch(args) {
         Ok(out) => (0, out),
         Err(e) => (1, format!("error: {e}\n{USAGE}")),
@@ -230,6 +239,99 @@ fn cmd_fuzz(args: &[String]) -> Result<(i32, String), String> {
     Ok((if report.clean() { 0 } else { 1 }, out))
 }
 
+/// Parses the `serve` flags into a server config plus the output options
+/// (`--socket`, `--stats-out`, `--trace`). Split from [`cmd_serve`] so the
+/// flag grammar is unit-testable without touching stdin.
+///
+/// # Errors
+/// Returns a message for unparsable numeric flag values.
+pub fn parse_serve_config(
+    args: &[String],
+) -> Result<(rsti_serve::ServeConfig, ServeOptions), String> {
+    let parse_usize = |flag: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, flag) {
+            Some(s) => s.parse().map_err(|_| format!("bad {flag} value `{s}`")),
+            None => Ok(default),
+        }
+    };
+    let defaults = rsti_serve::ServeConfig::default();
+    let fuel = match flag_value(args, "--fuel") {
+        Some(s) => s.parse().map_err(|_| format!("bad --fuel value `{s}`"))?,
+        None => defaults.fuel,
+    };
+    let cfg = rsti_serve::ServeConfig {
+        workers: parse_usize("--workers", defaults.workers)?.max(1),
+        cache_cap: parse_usize("--cache-cap", defaults.cache_cap)?,
+        fuel,
+    };
+    let opts = ServeOptions {
+        socket: flag_value(args, "--socket").map(str::to_owned),
+        stats_out: flag_value(args, "--stats-out").map(str::to_owned),
+        trace: flag_value(args, "--trace").map(str::to_owned),
+    };
+    Ok((cfg, opts))
+}
+
+/// Output-side `serve` options (everything that is not a [`rsti_serve::ServeConfig`]
+/// tunable).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Accept connections on this Unix socket instead of stdin/stdout.
+    pub socket: Option<String>,
+    /// Write the final stats snapshot (the `{\"cmd\":\"stats\"}` payload)
+    /// to this file on exit.
+    pub stats_out: Option<String>,
+    /// Enable telemetry with this JSONL sink.
+    pub trace: Option<String>,
+}
+
+/// The `serve` subcommand: a persistent instrumentation-and-execution
+/// service over stdin-JSONL or a Unix socket (see `rsti-serve`).
+/// Responses stream to stdout as they complete; the returned string only
+/// carries the final one-line summary (stderr gets it too, so piping
+/// stdout stays pure JSONL).
+///
+/// # Errors
+/// Returns usage errors and fatal I/O errors (bind/accept failures).
+fn cmd_serve(args: &[String]) -> Result<(i32, String), String> {
+    let (cfg, opts) = parse_serve_config(args)?;
+    let tel = rsti_telemetry::global();
+    if let Some(path) = &opts.trace {
+        tel.enable();
+        tel.set_sink_path(path)
+            .map_err(|e| format!("cannot open trace file `{path}`: {e}"))?;
+    } else {
+        tel.init_from_env();
+    }
+    let server = rsti_serve::Server::new(cfg);
+    if let Some(path) = &opts.socket {
+        #[cfg(unix)]
+        rsti_serve::serve_socket(&server, std::path::Path::new(path))
+            .map_err(|e| format!("serve socket `{path}`: {e}"))?;
+        #[cfg(not(unix))]
+        return Err(format!("--socket is only supported on unix (got `{path}`)"));
+    } else {
+        let stdin = std::io::stdin();
+        rsti_serve::serve_lines(&server, stdin.lock(), std::io::stdout())
+            .map_err(|e| format!("serve I/O: {e}"))?;
+    }
+    if let Some(path) = &opts.stats_out {
+        std::fs::write(path, server.stats_json())
+            .map_err(|e| format!("cannot write stats file `{path}`: {e}"))?;
+    }
+    let m = server.metrics();
+    let summary = format!(
+        "serve: {} request(s), {} hit(s), {} miss(es), {} eviction(s), {} error(s)\n",
+        m.requests(),
+        m.hits(),
+        m.misses(),
+        m.evictions(),
+        m.errors()
+    );
+    eprint!("{summary}");
+    Ok((0, String::new()))
+}
+
 const USAGE: &str = "\
 usage:
   rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--record] [--stats] [--trace out.jsonl]
@@ -265,6 +367,18 @@ usage:
   every oracle VM with the attribution profiler on (verdicts must not
   change; engine profiles must agree). --record likewise arms the flight
   recorder everywhere and diffs the engines' incidents.
+  rsti serve [--workers N] [--cache-cap N] [--fuel N] [--socket PATH] [--stats-out FILE] [--trace out.jsonl]
+
+  serve reads JSONL requests from stdin (one JSON object per line, e.g.
+  {\"id\":1,\"cmd\":\"run\",\"source\":\"int main() { return 0; }\",
+  \"mech\":\"stwc\",\"opt\":\"cfg\",\"exec\":\"compiled\",\"enforce\":\"pac\"})
+  and answers one JSON line per request, in input order, on stdout.
+  Instrumented modules (and their compiled closures) are cached in an LRU
+  keyed by hash(source, mech, opt, exec, enforce), shared by --workers
+  threads; cmd is run|compile|profile|explain|stats|shutdown, and source
+  may be replaced by a workload name (\"workload\":\"numeric sort\").
+  --socket serves the same protocol on a Unix socket; --stats-out writes
+  the final counter/latency snapshot as JSON on exit.
   RSTI_TRACE=<path> in the environment is equivalent to --trace <path>.
 ";
 
@@ -1205,6 +1319,52 @@ mod tests {
     #[test]
     fn usage_lists_the_fuzz_command() {
         assert!(USAGE.contains("rsti fuzz"), "{USAGE}");
+    }
+
+    #[test]
+    fn usage_lists_the_serve_command_and_its_protocol_verbs() {
+        assert!(USAGE.contains("rsti serve"), "{USAGE}");
+        for needle in ["--workers", "--cache-cap", "--socket", "--stats-out", "shutdown"] {
+            assert!(USAGE.contains(needle), "usage lists `{needle}`");
+        }
+    }
+
+    #[test]
+    fn serve_flags_parse_with_defaults_and_overrides() {
+        let (cfg, opts) = parse_serve_config(&["serve".into()]).unwrap();
+        let defaults = rsti_serve::ServeConfig::default();
+        assert_eq!(cfg.workers, defaults.workers);
+        assert_eq!(cfg.cache_cap, defaults.cache_cap);
+        assert_eq!(cfg.fuel, defaults.fuel);
+        assert_eq!(opts, ServeOptions::default());
+
+        let args: Vec<String> = [
+            "serve", "--workers", "8", "--cache-cap", "32", "--fuel", "5000",
+            "--socket", "/tmp/rsti.sock", "--stats-out", "stats.json", "--trace", "t.jsonl",
+        ]
+        .map(String::from)
+        .into();
+        let (cfg, opts) = parse_serve_config(&args).unwrap();
+        assert_eq!(cfg.workers, 8);
+        assert_eq!(cfg.cache_cap, 32);
+        assert_eq!(cfg.fuel, 5000);
+        assert_eq!(opts.socket.as_deref(), Some("/tmp/rsti.sock"));
+        assert_eq!(opts.stats_out.as_deref(), Some("stats.json"));
+        assert_eq!(opts.trace.as_deref(), Some("t.jsonl"));
+
+        // --workers 0 is clamped to one worker, not an error.
+        let args: Vec<String> = ["serve", "--workers", "0"].map(String::from).into();
+        assert_eq!(parse_serve_config(&args).unwrap().0.workers, 1);
+    }
+
+    #[test]
+    fn serve_rejects_bad_numeric_flags_via_run_cli() {
+        for flag in ["--workers", "--cache-cap", "--fuel"] {
+            let (code, out) =
+                run_cli(&["serve".into(), flag.into(), "many".into()]);
+            assert_eq!(code, 1);
+            assert!(out.contains(&format!("bad {flag}")), "{out}");
+        }
     }
 
     #[test]

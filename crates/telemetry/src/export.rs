@@ -121,15 +121,28 @@ impl Histogram {
         &self.buckets
     }
 
-    /// Approximate quantile: the lower bound of the first bucket whose
-    /// cumulative count reaches `q * count` (`q` in `[0, 1]`). The answer is
-    /// within one power of two of the true quantile — exactly the bucket
-    /// resolution.
+    /// Approximate quantile with explicit rank semantics: the result is
+    /// `bucket_lo` of the bucket holding the `r`-th smallest sample, where
+    /// `r = clamp(ceil(q * count), 1, count)` and `q` is clamped to
+    /// `[0, 1]` (NaN reads as 0). So by definition:
+    ///
+    /// * `quantile(0.0)` is the bucket floor of the **minimum** (rank 1 —
+    ///   not "skip the first `0 * count` samples", which only coincided
+    ///   with rank 1 by accident of the old `.max(1)`);
+    /// * `quantile(1.0)` is the bucket floor of the **maximum** (rank
+    ///   `count`), never more;
+    /// * on a single-entry histogram every `q` returns that one sample's
+    ///   bucket floor;
+    /// * an empty histogram returns 0 for every `q`.
+    ///
+    /// The answer is within one power of two below the true quantile —
+    /// exactly the bucket resolution.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
@@ -137,7 +150,8 @@ impl Histogram {
                 return Self::bucket_lo(i);
             }
         }
-        self.max
+        // Unreachable: `rank <= count` and the buckets sum to `count`.
+        Self::bucket_lo(Self::bucket_of(self.max))
     }
 
     /// Merges another histogram into this one.
@@ -319,6 +333,38 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.count(), 7);
         assert_eq!(h.max(), 5000);
+    }
+
+    /// The explicit p0/p50/p100 contract: p0 is the minimum's bucket floor,
+    /// p100 the maximum's, and degenerate histograms behave by definition,
+    /// not by accident of rank arithmetic.
+    #[test]
+    fn quantile_rank_semantics_are_explicit() {
+        // Empty: every quantile is 0.
+        let empty = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "empty at q={q}");
+        }
+
+        // Single entry: every quantile is that sample's bucket floor.
+        let mut one = Histogram::new();
+        one.record(900); // bucket [512, 1024)
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(one.quantile(q), 512, "single-entry at q={q}");
+        }
+
+        // Multi-bucket: p0 tracks the min, p100 the max, p50 the median.
+        let mut h = Histogram::new();
+        for v in [1, 16, 16, 16, 4096] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1, "p0 = floor(bucket(min))");
+        assert_eq!(h.quantile(0.5), 16, "p50 = floor(bucket(rank 3))");
+        assert_eq!(h.quantile(1.0), 4096, "p100 = floor(bucket(max))");
+        // Out-of-range and NaN q clamp instead of over/under-ranking.
+        assert_eq!(h.quantile(-3.0), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
     }
 
     /// Golden: histogram JSON field names are a public contract.

@@ -192,11 +192,26 @@ pub enum CounterId {
     FuzzFailures,
     /// Candidate programs tried during delta-debugging minimization.
     FuzzMinimizeAttempts,
+    // -- serving (`rsti serve`) --
+    /// Requests accepted by the serve front end.
+    ServeRequests,
+    /// Requests answered from the content-addressed module cache.
+    ServeCacheHits,
+    /// Requests that had to run the full instrumentation pipeline.
+    ServeCacheMisses,
+    /// Cached images evicted by the LRU bound.
+    ServeCacheEvictions,
+    /// Requests that returned a structured error (bad input, panic).
+    ServeErrors,
+    // -- the collector itself --
+    /// JSONL trace-sink write failures (events dropped, never propagated
+    /// into the traced program — but no longer silently).
+    TraceSinkErrors,
 }
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [CounterId; 35] = [
+    pub const ALL: [CounterId; 41] = [
         CounterId::SignsInserted,
         CounterId::AuthsInserted,
         CounterId::AuthsElidedBlock,
@@ -232,6 +247,12 @@ impl CounterId {
         CounterId::FuzzSeedsRun,
         CounterId::FuzzFailures,
         CounterId::FuzzMinimizeAttempts,
+        CounterId::ServeRequests,
+        CounterId::ServeCacheHits,
+        CounterId::ServeCacheMisses,
+        CounterId::ServeCacheEvictions,
+        CounterId::ServeErrors,
+        CounterId::TraceSinkErrors,
     ];
 
     /// Stable serialized name.
@@ -272,6 +293,12 @@ impl CounterId {
             CounterId::FuzzSeedsRun => "fuzz_seeds_run",
             CounterId::FuzzFailures => "fuzz_failures",
             CounterId::FuzzMinimizeAttempts => "fuzz_minimize_attempts",
+            CounterId::ServeRequests => "serve_requests",
+            CounterId::ServeCacheHits => "serve_cache_hits",
+            CounterId::ServeCacheMisses => "serve_cache_misses",
+            CounterId::ServeCacheEvictions => "serve_cache_evictions",
+            CounterId::ServeErrors => "serve_errors",
+            CounterId::TraceSinkErrors => "trace_sink_errors",
         }
     }
 
@@ -501,38 +528,58 @@ impl Collector {
         self.emit(&Event::Span { phase, ns });
     }
 
+    /// Locks the sink, recovering from poison: a panic in one emitting
+    /// thread must not silence tracing (or crash `emit`) in every other
+    /// thread for the rest of the process — the writer itself is still a
+    /// valid object, at worst missing the panicking thread's last line.
+    fn sink_guard(&self) -> std::sync::MutexGuard<'_, Option<Box<dyn Write + Send>>> {
+        self.sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Routes trace output to a JSONL file at `path`.
     ///
     /// # Errors
     /// Propagates file-creation errors.
     pub fn set_sink_path(&self, path: &str) -> std::io::Result<()> {
         let file = std::fs::File::create(path)?;
-        *self.sink.lock().expect("sink lock") = Some(Box::new(std::io::BufWriter::new(file)));
+        *self.sink_guard() = Some(Box::new(std::io::BufWriter::new(file)));
         Ok(())
     }
 
     /// Installs an arbitrary writer as the JSONL sink (tests).
     pub fn set_sink(&self, w: Box<dyn Write + Send>) {
-        *self.sink.lock().expect("sink lock") = Some(w);
+        *self.sink_guard() = Some(w);
     }
 
     /// Removes the sink, flushing it first.
     pub fn clear_sink(&self) {
-        if let Some(mut w) = self.sink.lock().expect("sink lock").take() {
+        if let Some(mut w) = self.sink_guard().take() {
             let _ = w.flush();
         }
     }
 
-    /// Writes one event to the sink (if any). Dropped silently on I/O
-    /// errors — telemetry must never turn into a program failure.
+    /// Writes one event to the sink (if any).
+    ///
+    /// The whole line — JSON plus trailing newline — is buffered into one
+    /// `write_all` while the sink lock is held, so concurrent emitters
+    /// (e.g. `rsti serve` workers) can never interleave partial lines even
+    /// through a writer that splits `write_fmt` into pieces. I/O failures
+    /// never propagate into the traced program, but they are no longer
+    /// swallowed either: each failed line bumps
+    /// [`CounterId::TraceSinkErrors`].
     pub fn emit(&self, event: &Event<'_>) {
         if !self.is_enabled() {
             return;
         }
-        let mut guard = self.sink.lock().expect("sink lock");
+        let mut guard = self.sink_guard();
         if let Some(w) = guard.as_mut() {
-            let _ = writeln!(w, "{}", event.to_json());
-            let _ = w.flush();
+            let mut line = event.to_json();
+            line.push('\n');
+            let res = w.write_all(line.as_bytes()).and_then(|()| w.flush());
+            drop(guard);
+            if res.is_err() {
+                self.add(CounterId::TraceSinkErrors, 1);
+            }
         }
     }
 
@@ -800,6 +847,69 @@ mod tests {
         assert!(lines[1].contains("\"phase\":\"optimize\""));
     }
 
+    /// A sink whose writes always fail, for the error-surfacing contract.
+    struct FailSink;
+    impl Write for FailSink {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_write_failures_are_counted_not_swallowed() {
+        let c = Collector::new();
+        c.enable();
+        c.set_sink(Box::new(FailSink));
+        assert_eq!(c.get(CounterId::TraceSinkErrors), 0);
+        c.emit(&Event::Counter { id: CounterId::VmTraps, delta: 1 });
+        c.emit(&Event::Span { phase: Phase::Parse, ns: 1 });
+        assert_eq!(c.get(CounterId::TraceSinkErrors), 2, "each dropped line counted");
+        // The failure never propagates: emit returned normally twice.
+    }
+
+    /// A sink that records write() call boundaries, to pin the
+    /// one-write_all-per-line contract that keeps concurrent emitters from
+    /// interleaving partial lines.
+    struct ChunkSink(Arc<StdMutex<Vec<Vec<u8>>>>);
+    impl Write for ChunkSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().push(buf.to_vec());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn each_event_is_a_single_complete_write() {
+        let chunks = Arc::new(StdMutex::new(Vec::new()));
+        let c = Arc::new(Collector::new());
+        c.enable();
+        c.set_sink(Box::new(ChunkSink(Arc::clone(&chunks))));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        c.emit(&Event::Span { phase: Phase::VmRun, ns: t * 1000 + i });
+                    }
+                });
+            }
+        });
+        let chunks = chunks.lock().unwrap();
+        assert_eq!(chunks.len(), 200, "one write per event");
+        for ch in chunks.iter() {
+            let line = std::str::from_utf8(ch).unwrap();
+            assert!(line.starts_with("{\"type\":\"span\""), "complete line: {line}");
+            assert!(line.ends_with("}\n"), "newline-terminated: {line}");
+            assert_eq!(line.matches('\n').count(), 1);
+        }
+    }
+
     /// Serialization-stability golden test: the snapshot JSON's field names
     /// and counter/phase identifiers are a public contract. Any change here
     /// is a trace-format break and must be deliberate.
@@ -832,7 +942,9 @@ mod tests {
             "vm_traps", "vm_violations", "vm_attr_runs", "vm_attr_samples",
             "vm_inst_mem", "vm_inst_arith", "vm_inst_call",
             "vm_inst_pac", "vm_inst_branch", "vm_inst_other", "fuzz_seeds_run",
-            "fuzz_failures", "fuzz_minimize_attempts",
+            "fuzz_failures", "fuzz_minimize_attempts", "serve_requests",
+            "serve_cache_hits", "serve_cache_misses", "serve_cache_evictions",
+            "serve_errors", "trace_sink_errors",
         ];
         let got: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(got, expected_names, "counter taxonomy drifted");

@@ -771,6 +771,34 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_compiled_cache_still_shares_code_across_clones() {
+        // Regression: Clone used to treat a poisoned compiled-cache lock as
+        // an *empty* cache, so one panic during compilation forced every
+        // later clone of that image to recompile forever. The guard must be
+        // recovered instead — the Option inside is always valid.
+        use std::sync::Arc;
+        let m = compile("int main() { print_int(42); return 0; }", "t").unwrap();
+        let p = rsti_core::instrument(&m, Mechanism::Stwc);
+        let img = Image::from_instrumented(&p).with_exec(ExecBackend::Compiled);
+        let code = img.compiled(); // translate once, fill the cache
+        img.poison_compiled_lock_for_tests();
+        // A clone of the poisoned image must still share the compiled
+        // module (not silently start from an empty cache)…
+        let cloned = img.clone();
+        assert!(
+            Arc::ptr_eq(&code, &cloned.compiled()),
+            "clone of a poisoned image must share the already-compiled code"
+        );
+        // …the original recovers too, and both still execute.
+        assert!(Arc::ptr_eq(&code, &img.compiled()));
+        for i in [&img, &cloned] {
+            let r = Vm::new(i).run();
+            assert_eq!(r.status, Status::Exited(0));
+            assert_eq!(r.output, vec!["42"]);
+        }
+    }
+
+    #[test]
     fn violation_produces_audit_record_naming_mechanism_and_site() {
         let src = r#"
             void benign() { }

@@ -738,8 +738,13 @@ impl fmt::Debug for CompiledCache {
 
 impl Clone for CompiledCache {
     fn clone(&self) -> Self {
-        // Share the already-compiled code; a poisoned lock clones empty.
-        let inner = self.0.lock().map(|g| g.clone()).unwrap_or(None);
+        // Share the already-compiled code. A poisoned lock is recovered,
+        // not treated as empty: the `Option<Arc<CompiledModule>>` inside is
+        // always valid (the panic happened in some other holder's critical
+        // section, e.g. mid-`compile_module`, which writes the slot only on
+        // success), and cloning `None` here would silently force every
+        // future clone of a once-panicked image to recompile forever.
+        let inner = self.0.lock().unwrap_or_else(|p| p.into_inner()).clone();
         CompiledCache(Mutex::new(inner))
     }
 }
@@ -879,6 +884,22 @@ impl Image {
         tel.add(CounterId::VmCompiledBlocks, code.n_blocks);
         *guard = Some(Arc::clone(&code));
         code
+    }
+
+    /// Poisons the compiled-cache lock the way a real panic during
+    /// compilation would: a thread panics while holding the guard. For the
+    /// poison-recovery regression tests.
+    #[cfg(test)]
+    pub(crate) fn poison_compiled_lock_for_tests(&self) {
+        let result = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = self.compiled.0.lock().unwrap_or_else(|p| p.into_inner());
+                panic!("poisoning the compiled-cache lock (expected test panic)");
+            })
+            .join()
+        });
+        assert!(result.is_err(), "the poisoning thread must have panicked");
+        assert!(self.compiled.0.lock().is_err(), "lock must now be poisoned");
     }
 }
 
