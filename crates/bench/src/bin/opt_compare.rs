@@ -8,10 +8,11 @@
 //!    optimized by the compiler".
 //! 2. The per-mechanism dynamic-check-reduction table on the loop-heavy
 //!    nbench + NGINX mix: executed `aut` counts at `none` / `block` /
-//!    `cfg`, per mechanism. This is the acceptance gate for the CFG
-//!    optimizer — the process exits non-zero if the CFG level fails to
-//!    *strictly* reduce dynamic auths vs block-local for any mechanism,
-//!    which is what the CI opt-ablation smoke step checks.
+//!    `cfg` / `ipo`, per mechanism. This is the acceptance gate for the
+//!    optimizer ladder — the process exits non-zero, naming the offending
+//!    mechanism/level, if any level fails to *strictly* reduce dynamic
+//!    auths vs the one below it (cfg vs block-local, ipo vs cfg), which
+//!    is what the CI opt-ablation smoke step checks.
 //!
 //! The second table is also written to `reports/opt_compare.md`.
 
@@ -85,10 +86,10 @@ fn main() {
     // Per-mechanism dynamic-check reduction on the loop-heavy mix.
     let ws: Vec<_> =
         rsti_workloads::nbench().into_iter().chain(rsti_workloads::nginx()).collect();
-    let levels = [OptLevel::None, OptLevel::BlockLocal, OptLevel::Cfg];
+    let levels = OptLevel::ALL;
 
     // totals[level][mech] = (cycles, signs, auths), summed over workloads.
-    let mut totals = [[(0u64, 0u64, 0u64); 3]; 3];
+    let mut totals = [[(0u64, 0u64, 0u64); 3]; 4];
     for (li, level) in levels.iter().enumerate() {
         for w in &ws {
             let row = measure_at(w, *level)
@@ -106,59 +107,76 @@ fn main() {
          Loop-heavy mix (nbench + NGINX proxies), executed PAC operation\n\
          counts summed over the suite. `Δauths vs block` is the extra\n\
          reduction the CFG stages (dominator elision, loop hoisting) buy\n\
-         over the block-local pipeline.\n\n\
-         | mechanism | level | cycles | signs | auths | Δauths vs block |\n\
-         |---|---|---:|---:|---:|---:|\n",
+         over the block-local pipeline; `Δ vs cfg` is the further relative\n\
+         reduction the interprocedural level (summary-refined call kills,\n\
+         boundary-resign folding, size-budgeted inlining) buys over cfg.\n\n\
+         | mechanism | level | cycles | signs | auths | Δauths vs block | Δ vs cfg |\n\
+         |---|---|---:|---:|---:|---:|---:|\n",
     );
     println!(
         "Dynamic checks (nbench + NGINX), per mechanism and optimizer level:\n\n\
-         {:<6} {:<6} {:>12} {:>10} {:>10} {:>16}",
-        "mech", "level", "cycles", "signs", "auths", "d-auths vs block"
+         {:<6} {:<6} {:>12} {:>10} {:>10} {:>16} {:>10}",
+        "mech", "level", "cycles", "signs", "auths", "d-auths vs block", "d vs cfg"
     );
-    let mut cfg_regression = false;
+    // (mechanism, failed level, auths, bound it had to be strictly below)
+    let mut regressions: Vec<(&str, &str, u64, u64)> = Vec::new();
     for (mi, mech) in MECHS.iter().enumerate() {
         let block_auths = totals[1][mi].2;
+        let cfg_auths = totals[2][mi].2;
         for (li, level) in levels.iter().enumerate() {
             let (cyc, signs, auths) = totals[li][mi];
-            let delta = if *level == OptLevel::Cfg {
+            let delta = if matches!(level, OptLevel::Cfg | OptLevel::Ipo) {
                 format!("{:+}", auths as i64 - block_auths as i64)
             } else {
                 "-".to_string()
             };
+            let vs_cfg = if *level == OptLevel::Ipo {
+                format!("{:+.1}%", (auths as f64 / cfg_auths as f64 - 1.0) * 100.0)
+            } else {
+                "-".to_string()
+            };
             println!(
-                "{:<6} {:<6} {:>12} {:>10} {:>10} {:>16}",
+                "{:<6} {:<6} {:>12} {:>10} {:>10} {:>16} {:>10}",
                 mech.name(),
                 level.label(),
                 cyc,
                 signs,
                 auths,
-                delta
+                delta,
+                vs_cfg
             );
             let _ = writeln!(
                 md,
-                "| {} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} |",
                 mech.name(),
                 level.label(),
                 cyc,
                 signs,
                 auths,
-                delta
+                delta,
+                vs_cfg
             );
         }
-        let cfg_auths = totals[2][mi].2;
         if cfg_auths >= block_auths {
-            cfg_regression = true;
-            println!(
-                "REGRESSION: {} cfg auths ({cfg_auths}) not below block-local ({block_auths})",
-                mech.name()
-            );
+            regressions.push((mech.name(), "cfg", cfg_auths, block_auths));
         }
+        let ipo_auths = totals[3][mi].2;
+        if ipo_auths >= cfg_auths {
+            regressions.push((mech.name(), "ipo", ipo_auths, cfg_auths));
+        }
+    }
+    for (mech, level, auths, bound) in &regressions {
+        println!(
+            "REGRESSION: {mech} {level} auths ({auths}) not strictly below \
+             the previous level ({bound})"
+        );
     }
     let _ = writeln!(
         md,
-        "\nGate: the CFG level must execute strictly fewer auths than\n\
-         block-local for every mechanism — status: {}.\n",
-        if cfg_regression { "**FAILED**" } else { "ok" }
+        "\nGate: each optimizer level must execute strictly fewer auths\n\
+         than the one below it (cfg < block, ipo < cfg) for every\n\
+         mechanism — status: {}.\n",
+        if regressions.is_empty() { "ok" } else { "**FAILED**" }
     );
     match std::fs::create_dir_all("reports")
         .and_then(|()| std::fs::write("reports/opt_compare.md", &md))
@@ -166,7 +184,10 @@ fn main() {
         Ok(()) => println!("\nwrote reports/opt_compare.md"),
         Err(e) => println!("\ncannot write reports/opt_compare.md: {e}"),
     }
-    if cfg_regression {
+    if !regressions.is_empty() {
+        let names: Vec<String> =
+            regressions.iter().map(|(m, l, ..)| format!("{m}/{l}")).collect();
+        eprintln!("opt_compare gate failed for: {}", names.join(", "));
         std::process::exit(1);
     }
 }

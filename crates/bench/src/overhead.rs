@@ -390,16 +390,17 @@ mod tests {
         assert!(s_auths.iter().all(|&n| n > 0), "{s_auths:?}");
     }
 
-    /// The CFG-optimizer acceptance property on the loop-heavy mix: for
-    /// every mechanism, the CFG level executes *strictly* fewer dynamic
-    /// auths than block-local elision alone, while status and output stay
-    /// bit-identical across all three levels.
+    /// The optimizer acceptance property on the loop-heavy mix: for every
+    /// mechanism, each level of the ladder executes *strictly* fewer
+    /// dynamic auths than the one below it (cfg < block-local, ipo < cfg),
+    /// while status and output stay bit-identical across all four levels.
+    /// The ipo < cfg leg is the `--opt ipo` acceptance gate.
     #[test]
     fn cfg_strictly_reduces_dynamic_auths_vs_block_local() {
         let ws: Vec<_> =
             rsti_workloads::nbench().into_iter().chain(rsti_workloads::nginx()).collect();
         // auths[level][mech], summed over the suite.
-        let mut auths = [[0u64; 3]; 3];
+        let mut auths = [[0u64; 3]; 4];
         for w in &ws {
             let mut m = w.module();
             rsti_core::inline_leaf_functions(&mut m, 96);
@@ -432,6 +433,13 @@ mod tests {
             }
         }
         for (mi, mech) in MECHS.iter().enumerate() {
+            assert!(
+                auths[3][mi] < auths[2][mi],
+                "{}: ipo auths {} not strictly below cfg {}",
+                mech.name(),
+                auths[3][mi],
+                auths[2][mi]
+            );
             assert!(
                 auths[2][mi] < auths[1][mi],
                 "{}: cfg auths {} not strictly below block-local {}",

@@ -43,7 +43,20 @@ fn run(img: &Image) -> rsti_vm::ExecResult {
 /// `--backend compiled` on the full nbench + NGINX mix.
 #[test]
 fn attr_profiles_identical_across_engines() {
-    for (name, img) in mix_images(OptLevel::Cfg) {
+    assert_attr_parity(OptLevel::Cfg);
+}
+
+/// The same folded-stack bit-identity under `--opt ipo --attr`: the
+/// interprocedural passes (summary kills, resign folding, inlining) remap
+/// check-site ids by final-module scan order, so both engines must still
+/// agree on every site stat and every sampled call path.
+#[test]
+fn attr_profiles_identical_across_engines_at_ipo() {
+    assert_attr_parity(OptLevel::Ipo);
+}
+
+fn assert_attr_parity(level: OptLevel) {
+    for (name, img) in mix_images(level) {
         // A small sampling period exercises the sampler on every workload.
         let interp = img.clone().with_attr_sampling(512).with_exec(ExecBackend::Interp);
         let compiled = interp.clone().with_exec(ExecBackend::Compiled);

@@ -5,8 +5,8 @@
 //! ```text
 //! rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive]
 //!                    [--backend pac|mac|interp|compiled]
-//!                    [--opt none|block|cfg] [--stats] [--trace out.jsonl]
-//! rsti profile <file.mc> [--mech ...] [--backend ...] [--opt none|block|cfg]
+//!                    [--opt none|block|cfg|ipo] [--stats] [--trace out.jsonl]
+//! rsti profile <file.mc> [--mech ...] [--backend ...] [--opt none|block|cfg|ipo]
 //!                        [--attr] [--top N] [--flame out.folded] [--chrome out.json]
 //!                        [--trace out.jsonl]
 //! rsti report [--out DIR] [--top N] [--history reports/bench_history.jsonl]
@@ -334,8 +334,8 @@ fn cmd_serve(args: &[String]) -> Result<(i32, String), String> {
 
 const USAGE: &str = "\
 usage:
-  rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--record] [--stats] [--trace out.jsonl]
-  rsti profile <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--attr] [--record] [--top N] [--flame out.folded] [--chrome out.json] [--trace out.jsonl]
+  rsti run <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg|ipo] [--record] [--stats] [--trace out.jsonl]
+  rsti profile <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg|ipo] [--attr] [--record] [--top N] [--flame out.folded] [--chrome out.json] [--trace out.jsonl]
 
   --optimize is shorthand for --opt cfg (the full pipeline).
   --backend selects the enforcement scheme (pac|mac) or the execution
@@ -348,7 +348,7 @@ usage:
   report runs the nbench+NGINX mix under every mechanism with attribution
   on and writes DIR/hotspots.md (default reports/): the per-function
   app/PAC/pp cycle split plus a diff of the last two bench-history entries.
-  rsti explain <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg] [--json]
+  rsti explain <file.mc> [--mech stwc|stc|stl|parts|none|adaptive] [--backend pac|mac|interp|compiled] [--opt none|block|cfg|ipo] [--json]
   rsti explain --attack <scenario-id> [--mech stwc|stc|stl|parts|none] [--backend interp|compiled] [--json]
 
   explain arms the pointer-provenance flight recorder and renders the
@@ -401,9 +401,9 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
-/// Resolves the optimization level from the flags: `--opt none|block|cfg`
-/// wins; the legacy boolean `--optimize` means the full (CFG) pipeline;
-/// the default is unoptimized.
+/// Resolves the optimization level from the flags: `--opt
+/// none|block|cfg|ipo` wins; the legacy boolean `--optimize` means the
+/// full intraprocedural (CFG) pipeline; the default is unoptimized.
 ///
 /// # Errors
 /// Returns a message for unknown level names.
@@ -1213,7 +1213,7 @@ mod tests {
     fn opt_levels_parse_and_agree_on_output() {
         let f = write_temp("rsti_cli_optlevels.mc", PROG);
         let mut outputs = Vec::new();
-        for level in ["none", "block", "cfg"] {
+        for level in ["none", "block", "cfg", "ipo"] {
             let (code, out) = run_cli(&[
                 "run".into(),
                 f.clone(),
@@ -1227,6 +1227,7 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1], "none vs block");
         assert_eq!(outputs[0], outputs[2], "none vs cfg");
+        assert_eq!(outputs[0], outputs[3], "none vs ipo");
 
         let (code, out) = run_cli(&["run".into(), f, "--opt".into(), "turbo".into()]);
         assert_eq!(code, 1);
@@ -1267,6 +1268,53 @@ mod tests {
         ]);
         assert_eq!(code, 0, "{out}");
         for counter in ["auths_elided_block", "auths_elided_dom", "auths_hoisted"] {
+            assert!(out.contains(counter), "missing `{counter}`: {out}");
+        }
+    }
+
+    // `bump` is a small init-stored leaf (inlined); `lagged` keeps an
+    // uninitialized-on-one-arm local so it survives as a call whose empty
+    // summary lets the `gp` fact cross it — the second `*gp` elides only
+    // interprocedurally.
+    const IPO_RICH_PROG: &str = r#"
+        int sink;
+        int* gp;
+        long bump(long v) {
+            long t = v * 2;
+            return t + 1;
+        }
+        long lagged(long v) {
+            long x;
+            if (v > 1) { x = v; }
+            return x;
+        }
+        int main() {
+            gp = (int*) malloc(4);
+            if (sink > 0) { gp = (int*) malloc(8); }
+            int a = *gp;
+            long w = lagged((long) a);
+            int b = a + *gp;
+            long c = bump((long) b + w);
+            print_int(c);
+            return 0;
+        }
+    "#;
+
+    #[test]
+    fn profile_reports_interprocedural_counters() {
+        let f = write_temp("rsti_cli_prof_ipo.mc", IPO_RICH_PROG);
+        let (code, out) = run_cli(&[
+            "profile".into(),
+            f,
+            "--mech".into(),
+            "stwc".into(),
+            "--opt".into(),
+            "ipo".into(),
+        ]);
+        assert_eq!(code, 0, "{out}");
+        // The counter table hides zero rows, so containment doubles as a
+        // "this pipeline stage actually fired" assertion.
+        for counter in ["auths_elided_ipo", "calls_inlined", "summary_kill_refinements"] {
             assert!(out.contains(counter), "missing `{counter}`: {out}");
         }
     }

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod equivalence;
+pub mod ipo;
 pub mod optimize;
 pub mod replay;
 pub mod instrument;
@@ -41,6 +42,9 @@ pub mod sti;
 pub mod storage;
 
 pub use equivalence::{equivalence_stats, EquivalenceStats};
+pub use ipo::{
+    fold_boundary_resigns, inline_small_functions, FuncSummary, IpoAnalysis, IPO_INLINE_BUDGET,
+};
 pub use instrument::{instrument, instrument_adaptive, GlobalSign, InstrumentStats, InstrumentedProgram};
 pub use optimize::{
     compact_values, inline_leaf_functions, optimize_baseline, optimize_module, optimize_program,

@@ -420,15 +420,15 @@ fn promote_in_function(types: &rsti_ir::TypeTable, f: &mut rsti_ir::Function) ->
 /// slot. The payoff: no call, free, or store through an unknown pointer
 /// can possibly write a non-escaped slot, so available-auth facts about it
 /// survive those kills.
-struct AliasCensus {
-    allocas: HashSet<ValueId>,
-    non_escaped: HashSet<ValueId>,
+pub(crate) struct AliasCensus {
+    pub(crate) allocas: HashSet<ValueId>,
+    pub(crate) non_escaped: HashSet<ValueId>,
     /// Defining block per value; `None` for params and never-defined ids
     /// (both behave as "defined at entry").
     def_block: Vec<Option<BlockId>>,
 }
 
-fn alias_census(f: &rsti_ir::Function) -> AliasCensus {
+pub(crate) fn alias_census(f: &rsti_ir::Function) -> AliasCensus {
     let mut allocas = HashSet::new();
     let mut escaped = HashSet::new();
     let mut def_block = vec![None; f.value_types.len()];
@@ -475,7 +475,7 @@ fn alias_census(f: &rsti_ir::Function) -> AliasCensus {
 /// What a memory-writing instruction invalidates, under the refined alias
 /// rules. `SlotKey::Value` slots that are non-escaped allocas are immune
 /// to everything except a store through their own address and `free`.
-enum Kill {
+enum Kill<'a> {
     /// No memory written.
     None,
     /// Exactly one slot (store through a non-escaped alloca's address).
@@ -486,6 +486,14 @@ enum Kill {
     /// One global plus every interior-pointer fact (interior pointers may
     /// point into the global).
     GlobalAndInteriors(u32),
+    /// A summarized call: the named globals die, and so does every
+    /// interior-pointer fact (an interior pointer may point into one of
+    /// those globals). Every caller *slot* survives, escaped or not: a
+    /// callee with `writes_unknown == false` never stores through a
+    /// pointer it received or loaded, so it cannot reach any caller
+    /// alloca — its only writes land in its own fresh frame and in the
+    /// listed globals.
+    Globals(&'a std::collections::BTreeSet<u32>),
     /// Everything except non-escaped alloca slots (calls, stores through
     /// unknown pointers).
     AllButNonEscaped,
@@ -494,7 +502,11 @@ enum Kill {
     All,
 }
 
-fn kill_of(inst: &Inst, census: &AliasCensus) -> Kill {
+fn kill_of<'a>(
+    inst: &Inst,
+    census: &AliasCensus,
+    ipo: Option<&'a [crate::ipo::FuncSummary]>,
+) -> Kill<'a> {
     match inst {
         Inst::Store { ptr, .. } => match slot_key(ptr) {
             Some(k @ SlotKey::Value(v)) if census.non_escaped.contains(&v) => Kill::OneSlot(k),
@@ -504,7 +516,21 @@ fn kill_of(inst: &Inst, census: &AliasCensus) -> Kill {
             Some(SlotKey::Global(g)) => Kill::GlobalAndInteriors(g),
             _ => Kill::AllButNonEscaped,
         },
-        Inst::Call { .. } | Inst::CallIndirect { .. } => Kill::AllButNonEscaped,
+        // A direct call with an interprocedural summary kills only what
+        // the callee (transitively) can write. `frees` is *stronger* than
+        // the intraprocedural rule — a heap release invalidates MAC-table
+        // state just like a local `free`, which `AllButNonEscaped` would
+        // understate — but the ipo dataflow runs as a second pass after
+        // the plain one, so stricter kills here can only decline to add
+        // elisions, never undo cfg's.
+        Inst::Call { callee, .. } => match ipo.map(|s| &s[callee.0 as usize]) {
+            Some(s) if s.frees => Kill::All,
+            Some(s) if s.writes_unknown => Kill::AllButNonEscaped,
+            Some(s) if s.writes_globals.is_empty() => Kill::None,
+            Some(s) => Kill::Globals(&s.writes_globals),
+            None => Kill::AllButNonEscaped,
+        },
+        Inst::CallIndirect { .. } => Kill::AllButNonEscaped,
         Inst::Free { .. } => Kill::All,
         // Malloc returns fresh, never-before-visible memory: no fact can
         // refer to it yet.
@@ -513,7 +539,7 @@ fn kill_of(inst: &Inst, census: &AliasCensus) -> Kill {
 }
 
 /// Whether a fact about `slot` survives `kill`.
-fn fact_survives(slot: &SlotKey, kill: &Kill, census: &AliasCensus) -> bool {
+fn fact_survives(slot: &SlotKey, kill: &Kill<'_>, census: &AliasCensus) -> bool {
     let is_interior = |s: &SlotKey| match s {
         SlotKey::Value(v) => !census.allocas.contains(v),
         SlotKey::Global(_) => false,
@@ -525,6 +551,10 @@ fn fact_survives(slot: &SlotKey, kill: &Kill, census: &AliasCensus) -> bool {
         Kill::GlobalAndInteriors(g) => {
             !matches!(slot, SlotKey::Global(x) if x == g) && !is_interior(slot)
         }
+        Kill::Globals(gs) => match slot {
+            SlotKey::Value(v) => census.allocas.contains(v),
+            SlotKey::Global(g) => !gs.contains(g),
+        },
         Kill::AllButNonEscaped => {
             matches!(slot, SlotKey::Value(v) if census.non_escaped.contains(v))
         }
@@ -567,15 +597,32 @@ fn meet_preds(out: &[Option<FactMap>], cfg: &Cfg, b: BlockId) -> Option<FactMap>
 /// an auth whose fact is already available — and whose defining block
 /// dominates this one — is replaced with a register copy. Returns the
 /// number of auths elided.
+///
+/// With `forward` set (the ipo pass), facts are *also* seeded by
+/// sign→store chains: a `Store` whose value is the result of a same-block
+/// `PacSign` under `(key, modifier)` records that the slot now holds
+/// exactly `sign(v)` — so a later load+auth of that slot under the same
+/// class yields `v` and can be elided to a copy of the sign's input.
+/// This is what makes call-boundary spill/reload chains (and every
+/// `p = q; use *p` store-then-reload idiom) free: the auth after the
+/// reload is the inverse of the sign before the store. Soundness is the
+/// same narrowed re-check window as every other elision — corruption
+/// landing in the slot between the store and the reload goes unverified
+/// until the next non-elided check — and the kill rules guard everything
+/// else: any intervening write that could alias the slot erases the fact.
 fn transfer_block(
     blk: &mut rsti_ir::BasicBlock,
     b: BlockId,
     facts: &mut FactMap,
     census: &AliasCensus,
     dom: &DomTree,
+    ipo: Option<&[crate::ipo::FuncSummary]>,
+    forward: bool,
     rewrite: bool,
 ) -> usize {
     let mut elided = 0;
+    // Same-block PacSign results: sign result → (input value, key, mod).
+    let mut pending_signs: HashMap<ValueId, (ValueId, PacKey, u64)> = HashMap::new();
     for i in 0..blk.insts.len() {
         // Adjacent load+auth pair? (Instrumentation always emits them
         // adjacent; the MAC-table backend depends on the same adjacency.)
@@ -608,9 +655,30 @@ fn transfer_block(
             }
             continue;
         }
-        match kill_of(&blk.insts[i].inst, census) {
+        if forward {
+            if let Inst::PacSign { result, value: Operand::Value(v), key, modifier, .. } =
+                &blk.insts[i].inst
+            {
+                pending_signs.insert(*result, (*v, *key, *modifier));
+            }
+        }
+        match kill_of(&blk.insts[i].inst, census, ipo) {
             Kill::None => {}
             kill => facts.retain(|(slot, _, _), _| fact_survives(slot, &kill, census)),
+        }
+        if forward {
+            // Seed *after* the store's own kill: the slot now provably
+            // holds the freshly signed value. The sign and the future
+            // reload's auth share the slot's storage class, so matching
+            // (slot, modifier, key) suffices — same argument as the
+            // load-pair facts above (slot match ⇒ same STL location).
+            if let Inst::Store { value: Operand::Value(sv), ptr } = &blk.insts[i].inst {
+                if let (Some(&(orig, key, modifier)), Some(slot)) =
+                    (pending_signs.get(sv), slot_key(ptr))
+                {
+                    facts.insert((slot, modifier, key), (orig, b));
+                }
+            }
         }
     }
     elided
@@ -626,6 +694,25 @@ fn transfer_block(
 /// Returns the number of auths elided. Leaves placeholder types for
 /// [`patch_placeholder_types`].
 pub fn elide_auths_dataflow(m: &mut Module) -> usize {
+    elide_auths_dataflow_inner(m, None, false)
+}
+
+/// The interprocedural variant of [`elide_auths_dataflow`], run as the
+/// second dataflow pass at [`OptLevel::Ipo`]: direct-call kill sets are
+/// refined by the callee summaries, and facts are additionally seeded by
+/// sign→store chains (see [`transfer_block`]). Because it runs after the
+/// plain pass, everything it elides is elision the summaries or the
+/// store-forwarding earned — the returned count is exactly the
+/// interprocedural contribution.
+pub fn elide_auths_dataflow_ipo(m: &mut Module, summaries: &[crate::ipo::FuncSummary]) -> usize {
+    elide_auths_dataflow_inner(m, Some(summaries), true)
+}
+
+fn elide_auths_dataflow_inner(
+    m: &mut Module,
+    ipo: Option<&[crate::ipo::FuncSummary]>,
+    forward: bool,
+) -> usize {
     let mut elided = 0;
     for f in &mut m.funcs {
         if f.is_external || f.blocks.is_empty() {
@@ -649,6 +736,8 @@ pub fn elide_auths_dataflow(m: &mut Module) -> usize {
                     &mut facts,
                     &census,
                     &dom,
+                    ipo,
+                    forward,
                     false,
                 );
                 let slot = &mut out[b.0 as usize];
@@ -671,6 +760,8 @@ pub fn elide_auths_dataflow(m: &mut Module) -> usize {
                 &mut facts,
                 &census,
                 &dom,
+                ipo,
+                forward,
                 true,
             );
         }
@@ -729,6 +820,16 @@ fn is_reorder_safe(inst: &Inst) -> bool {
 /// hand-built IR) make the loop forest bail out and the function is left
 /// untouched. Returns the number of pairs hoisted.
 pub fn hoist_loop_auths(m: &mut Module) -> usize {
+    hoist_loop_auths_with(m, None)
+}
+
+/// [`hoist_loop_auths`] with optional interprocedural summaries: at
+/// [`OptLevel::Ipo`] a loop body containing a call to a summarized-clean
+/// callee no longer pins its header pairs in place.
+pub fn hoist_loop_auths_with(
+    m: &mut Module,
+    ipo: Option<&[crate::ipo::FuncSummary]>,
+) -> usize {
     let mut hoisted = 0;
     for f in &mut m.funcs {
         if f.is_external || f.blocks.is_empty() {
@@ -766,7 +867,7 @@ pub fn hoist_loop_auths(m: &mut Module) -> usize {
             if cfg.succs[ph.0 as usize] != [l.header] {
                 continue;
             }
-            while let Some(li) = find_hoistable_pair(f, l, &census) {
+            while let Some(li) = find_hoistable_pair(f, l, &census, ipo) {
                 let auth = f.blocks[l.header.0 as usize].insts.remove(li + 1);
                 let load = f.blocks[l.header.0 as usize].insts.remove(li);
                 let phb = &mut f.blocks[ph.0 as usize];
@@ -785,6 +886,7 @@ fn find_hoistable_pair(
     f: &rsti_ir::Function,
     l: &rsti_ir::NaturalLoop,
     census: &AliasCensus,
+    ipo: Option<&[crate::ipo::FuncSummary]>,
 ) -> Option<usize> {
     let header = &f.blocks[l.header.0 as usize];
     for (i, node) in header.insts.iter().enumerate() {
@@ -821,7 +923,7 @@ fn find_hoistable_pair(
             f.blocks[b.0 as usize]
                 .insts
                 .iter()
-                .all(|n| fact_survives(&slot, &kill_of(&n.inst, census), census))
+                .all(|n| fact_survives(&slot, &kill_of(&n.inst, census, ipo), census))
         });
         if never_killed {
             return Some(i);
@@ -886,19 +988,27 @@ pub enum OptLevel {
     /// BlockLocal plus the CFG-aware stages: dominator-based elision,
     /// loop-invariant auth hoisting, precomputed PAC modifiers.
     Cfg,
+    /// Cfg plus the interprocedural stages built on the call graph
+    /// ([`rsti_ir::CallGraph`]): internal-boundary resign folding,
+    /// size-budgeted inlining of small non-recursive callees, and a second
+    /// dataflow pass with summary-refined call kills plus sign→store
+    /// forwarding (see [`crate::ipo`]).
+    Ipo,
 }
 
 impl OptLevel {
     /// All levels, weakest first.
-    pub const ALL: [OptLevel; 3] = [OptLevel::None, OptLevel::BlockLocal, OptLevel::Cfg];
+    pub const ALL: [OptLevel; 4] =
+        [OptLevel::None, OptLevel::BlockLocal, OptLevel::Cfg, OptLevel::Ipo];
 
-    /// Short stable label (`none` / `block` / `cfg`) for tables, configs,
-    /// and CLI flags.
+    /// Short stable label (`none` / `block` / `cfg` / `ipo`) for tables,
+    /// configs, and CLI flags.
     pub fn label(self) -> &'static str {
         match self {
             OptLevel::None => "none",
             OptLevel::BlockLocal => "block",
             OptLevel::Cfg => "cfg",
+            OptLevel::Ipo => "ipo",
         }
     }
 
@@ -911,7 +1021,8 @@ impl OptLevel {
             "none" | "0" => OptLevel::None,
             "block" | "block-local" | "blocklocal" | "1" => OptLevel::BlockLocal,
             "cfg" | "2" => OptLevel::Cfg,
-            other => return Err(format!("unknown opt level `{other}` (none|block|cfg)")),
+            "ipo" | "3" => OptLevel::Ipo,
+            other => return Err(format!("unknown opt level `{other}` (none|block|cfg|ipo)")),
         })
     }
 }
@@ -931,13 +1042,29 @@ pub struct OptSummary {
     pub premods: usize,
     /// Dead value ids dropped by the final renumbering.
     pub compacted: usize,
+    /// Sign→auth round-trips folded at known-internal call boundaries
+    /// (ipo only; each fold removes one sign and one auth).
+    pub resigns_folded: usize,
+    /// Call sites inlined by the post-instrumentation inliner (ipo only).
+    pub inlined: usize,
+    /// Auths elided by the second, summary-refined dataflow pass (ipo
+    /// only).
+    pub elided_ipo: usize,
+    /// Static call sites whose kill set the callee summaries weakened
+    /// below the intraprocedural `AllButNonEscaped` default (ipo only).
+    pub refined: usize,
 }
 
 impl OptSummary {
     /// Total check sites removed (modifier folds excluded — those sites
     /// still check, they just derive nothing at runtime).
     pub fn total(&self) -> usize {
-        self.promoted + self.elided_block + self.hoisted + self.elided_dom
+        self.promoted
+            + self.elided_block
+            + self.hoisted
+            + self.elided_dom
+            + self.resigns_folded
+            + self.elided_ipo
     }
 }
 
@@ -1132,16 +1259,32 @@ pub fn optimize_module(m: &mut Module, level: OptLevel) -> OptSummary {
     if level == OptLevel::None {
         return s;
     }
+    if level == OptLevel::Ipo {
+        // Whole-module shape changes come first, so every later stage —
+        // including summary construction — sees the final call structure.
+        s.resigns_folded = crate::ipo::fold_boundary_resigns(m);
+        verify_stage(m, "resign-fold");
+        s.inlined = crate::ipo::inline_small_functions(m, crate::ipo::IPO_INLINE_BUDGET);
+        verify_stage(m, "ipo-inline");
+    }
     s.promoted = promote_single_store_slots(m);
     s.elided_block = elide_redundant_auths(m);
     patch_placeholder_types(m);
     verify_stage(m, "block-local");
-    if level == OptLevel::Cfg {
-        s.hoisted = hoist_loop_auths(m);
+    if matches!(level, OptLevel::Cfg | OptLevel::Ipo) {
+        let ipo_env = (level == OptLevel::Ipo).then(|| crate::ipo::IpoAnalysis::build(m));
+        let summaries = ipo_env.as_ref().map(|a| a.summaries.as_slice());
+        s.hoisted = hoist_loop_auths_with(m, summaries);
         verify_stage(m, "hoist");
         s.elided_dom = elide_auths_dataflow(m);
         patch_placeholder_types(m);
         verify_stage(m, "dataflow");
+        if let Some(a) = &ipo_env {
+            s.elided_ipo = elide_auths_dataflow_ipo(m, &a.summaries);
+            patch_placeholder_types(m);
+            verify_stage(m, "ipo-dataflow");
+            s.refined = a.refined_call_sites;
+        }
         s.premods = precompute_pac_modifiers(m);
         verify_stage(m, "premod");
     }
@@ -1166,6 +1309,15 @@ pub fn optimize_program_at(
     tel.add(rsti_telemetry::CounterId::AuthsElidedDom, s.elided_dom as u64);
     tel.add(rsti_telemetry::CounterId::AuthsHoisted, s.hoisted as u64);
     tel.add(rsti_telemetry::CounterId::ModifiersPrecomputed, s.premods as u64);
+    tel.add(
+        rsti_telemetry::CounterId::AuthsElidedIpo,
+        (s.elided_ipo + s.resigns_folded) as u64,
+    );
+    tel.add(rsti_telemetry::CounterId::CallsInlined, s.inlined as u64);
+    tel.add(
+        rsti_telemetry::CounterId::SummaryKillRefinements,
+        s.refined as u64,
+    );
     s
 }
 
@@ -1197,8 +1349,6 @@ pub fn optimize_baseline(m: &mut Module) -> usize {
 ///
 /// Returns the number of call sites inlined.
 pub fn inline_leaf_functions(m: &mut Module, max_insts: usize) -> usize {
-    use rsti_ir::{BasicBlock, BlockId, Terminator};
-
     fn is_leaf(f: &rsti_ir::Function) -> bool {
         !f.is_external
             && !f.blocks.is_empty()
@@ -1235,92 +1385,7 @@ pub fn inline_leaf_functions(m: &mut Module, max_insts: usize) -> usize {
                 found
             };
             let Some((bi, ii)) = site else { break };
-
-            // Clone what we need from the callee before mutating the caller.
-            let (callee_id, result, args) = {
-                let node = &m.funcs[caller_idx].blocks[bi].insts[ii];
-                match &node.inst {
-                    Inst::Call { result, callee, args } => {
-                        (*callee, *result, args.clone())
-                    }
-                    _ => unreachable!("site points at a call"),
-                }
-            };
-            let callee = m.funcs[callee_id.0 as usize].clone();
-            let caller = &mut m.funcs[caller_idx];
-
-            // Value remap: callee params -> arg operands; everything else
-            // gets fresh caller ids.
-            let value_base = caller.value_types.len() as u32;
-            let mut param_map: std::collections::HashMap<ValueId, Operand> =
-                std::collections::HashMap::new();
-            for (i, (pv, _)) in callee.params.iter().enumerate() {
-                param_map.insert(*pv, args[i].clone());
-            }
-            let remap_val = |v: ValueId, param_map: &std::collections::HashMap<ValueId, Operand>| -> Operand {
-                param_map
-                    .get(&v)
-                    .cloned()
-                    .unwrap_or(Operand::Value(ValueId(value_base + v.0)))
-            };
-            // Extend the caller's value table with the callee's (params
-            // included; their slots go unused).
-            caller.value_types.extend(callee.value_types.iter().copied());
-
-            let block_base = caller.blocks.len() as u32;
-            // The continuation receives everything after the call plus the
-            // original terminator.
-            let cont_id = BlockId(block_base + callee.blocks.len() as u32);
-            let call_blk = &mut caller.blocks[bi];
-            let tail: Vec<InstNode> = call_blk.insts.split_off(ii + 1);
-            call_blk.insts.pop(); // drop the call itself
-            let cont = BasicBlock {
-                insts: tail,
-                term: std::mem::replace(&mut call_blk.term, Terminator::Br(BlockId(block_base))),
-                term_loc: call_blk.term_loc,
-            };
-
-            // Splice callee blocks, remapping operands, block ids, and
-            // turning returns into copies + branches to the continuation.
-            let ret_ty = callee.sig.ret;
-            for (cbi, cblk) in callee.blocks.iter().enumerate() {
-                let mut nb = BasicBlock::new();
-                for node in &cblk.insts {
-                    let mut inst = node.inst.clone();
-                    remap_inst(&mut inst, value_base, &param_map, &remap_val);
-                    nb.insts.push(InstNode { inst, loc: node.loc });
-                }
-                nb.term_loc = cblk.term_loc;
-                nb.term = match &cblk.term {
-                    Terminator::Br(b) => Terminator::Br(BlockId(block_base + b.0)),
-                    Terminator::CondBr { cond, then_bb, else_bb } => {
-                        let mut c = cond.clone();
-                        remap_operand(&mut c, value_base, &param_map);
-                        Terminator::CondBr {
-                            cond: c,
-                            then_bb: BlockId(block_base + then_bb.0),
-                            else_bb: BlockId(block_base + else_bb.0),
-                        }
-                    }
-                    Terminator::Ret(v) => {
-                        if let (Some(res), Some(v)) = (result, v) {
-                            let mut rv = v.clone();
-                            remap_operand(&mut rv, value_base, &param_map);
-                            let copy = if m.types.is_ptr(ret_ty) {
-                                Inst::BitCast { result: res, value: rv, to: ret_ty }
-                            } else {
-                                Inst::Convert { result: res, value: rv, to: ret_ty }
-                            };
-                            nb.insts.push(InstNode { inst: copy, loc: cblk.term_loc });
-                        }
-                        Terminator::Br(cont_id)
-                    }
-                    Terminator::Unreachable => Terminator::Unreachable,
-                };
-                caller.blocks.push(nb);
-                let _ = cbi;
-            }
-            caller.blocks.push(cont);
+            splice_call_site(m, caller_idx, bi, ii);
             inlined += 1;
         }
     }
@@ -1330,6 +1395,91 @@ pub fn inline_leaf_functions(m: &mut Module, max_insts: usize) -> usize {
         rsti_ir::verify_module(m).err()
     );
     inlined
+}
+
+/// Replaces the direct call at `(caller_idx, bi, ii)` with a spliced copy
+/// of the callee's body. Shared by the pre-instrumentation leaf inliner
+/// and the post-instrumentation ipo inliner; the callee may itself contain
+/// calls ([`remap_inst`] remaps them like any other instruction).
+pub(crate) fn splice_call_site(m: &mut Module, caller_idx: usize, bi: usize, ii: usize) {
+    use rsti_ir::{BasicBlock, Terminator};
+
+    // Clone what we need from the callee before mutating the caller.
+    let (callee_id, result, args) = {
+        let node = &m.funcs[caller_idx].blocks[bi].insts[ii];
+        match &node.inst {
+            Inst::Call { result, callee, args } => (*callee, *result, args.clone()),
+            _ => unreachable!("site points at a call"),
+        }
+    };
+    let callee = m.funcs[callee_id.0 as usize].clone();
+    let caller = &mut m.funcs[caller_idx];
+
+    // Value remap: callee params -> arg operands; everything else
+    // gets fresh caller ids.
+    let value_base = caller.value_types.len() as u32;
+    let mut param_map: std::collections::HashMap<ValueId, Operand> =
+        std::collections::HashMap::new();
+    for (i, (pv, _)) in callee.params.iter().enumerate() {
+        param_map.insert(*pv, args[i].clone());
+    }
+    // Extend the caller's value table with the callee's (params
+    // included; their slots go unused).
+    caller.value_types.extend(callee.value_types.iter().copied());
+
+    let block_base = caller.blocks.len() as u32;
+    // The continuation receives everything after the call plus the
+    // original terminator.
+    let cont_id = BlockId(block_base + callee.blocks.len() as u32);
+    let call_blk = &mut caller.blocks[bi];
+    let tail: Vec<InstNode> = call_blk.insts.split_off(ii + 1);
+    call_blk.insts.pop(); // drop the call itself
+    let cont = BasicBlock {
+        insts: tail,
+        term: std::mem::replace(&mut call_blk.term, Terminator::Br(BlockId(block_base))),
+        term_loc: call_blk.term_loc,
+    };
+
+    // Splice callee blocks, remapping operands, block ids, and
+    // turning returns into copies + branches to the continuation.
+    let ret_ty = callee.sig.ret;
+    for cblk in &callee.blocks {
+        let mut nb = BasicBlock::new();
+        for node in &cblk.insts {
+            let mut inst = node.inst.clone();
+            remap_inst(&mut inst, value_base, &param_map);
+            nb.insts.push(InstNode { inst, loc: node.loc });
+        }
+        nb.term_loc = cblk.term_loc;
+        nb.term = match &cblk.term {
+            Terminator::Br(b) => Terminator::Br(BlockId(block_base + b.0)),
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                let mut c = cond.clone();
+                remap_operand(&mut c, value_base, &param_map);
+                Terminator::CondBr {
+                    cond: c,
+                    then_bb: BlockId(block_base + then_bb.0),
+                    else_bb: BlockId(block_base + else_bb.0),
+                }
+            }
+            Terminator::Ret(v) => {
+                if let (Some(res), Some(v)) = (result, v) {
+                    let mut rv = v.clone();
+                    remap_operand(&mut rv, value_base, &param_map);
+                    let copy = if m.types.is_ptr(ret_ty) {
+                        Inst::BitCast { result: res, value: rv, to: ret_ty }
+                    } else {
+                        Inst::Convert { result: res, value: rv, to: ret_ty }
+                    };
+                    nb.insts.push(InstNode { inst: copy, loc: cblk.term_loc });
+                }
+                Terminator::Br(cont_id)
+            }
+            Terminator::Unreachable => Terminator::Unreachable,
+        };
+        caller.blocks.push(nb);
+    }
+    caller.blocks.push(cont);
 }
 
 fn remap_operand(
@@ -1350,7 +1500,6 @@ fn remap_inst(
     inst: &mut Inst,
     value_base: u32,
     param_map: &std::collections::HashMap<ValueId, Operand>,
-    _remap_val: &dyn Fn(ValueId, &std::collections::HashMap<ValueId, Operand>) -> Operand,
 ) {
     // Results always become fresh caller values (params are never results).
     let remap_result = |r: &mut ValueId| *r = ValueId(value_base + r.0);
@@ -1408,9 +1557,24 @@ fn remap_inst(
             remap_result(result);
             remap_operand(value, value_base, param_map);
         }
-        // Leaf callees contain no calls by construction.
-        Inst::Call { .. } | Inst::CallIndirect { .. } => {
-            unreachable!("leaf callee contains a call")
+        // Callees with calls of their own (the ipo inliner's candidates):
+        // `FuncId`s are module-level and survive the splice untouched.
+        Inst::Call { result, args, .. } => {
+            if let Some(r) = result {
+                remap_result(r);
+            }
+            for a in args {
+                remap_operand(a, value_base, param_map);
+            }
+        }
+        Inst::CallIndirect { result, callee, args, .. } => {
+            if let Some(r) = result {
+                remap_result(r);
+            }
+            remap_operand(callee, value_base, param_map);
+            for a in args {
+                remap_operand(a, value_base, param_map);
+            }
         }
     }
 }

@@ -14,6 +14,19 @@
 //! propagates the source `DebugLoc` of the protected load/store onto the
 //! PAC instruction it inserts, which is where [`CheckSite::line`] comes
 //! from.
+//!
+//! The same scan-order rule is the **id stability contract** for the
+//! interprocedural level: `--opt ipo` inlining splices callee bodies into
+//! callers *before* this table is built, so an inlined check's id is the
+//! caller-relative scan position of its spliced copy — deterministic for a
+//! given (source, mechanism, level) triple — while its `line` keeps the
+//! callee's source provenance (`remap_inst` copies `DebugLoc`s verbatim).
+//! Ids are **not** stable across optimization levels (elision changes the
+//! set); they are stable across engines, runs, and processes at a fixed
+//! level, which is what `--attr` attribution and incident lineage key on.
+//! Property-tested in `crate::ipo` (`check_site_ids_stable_under_ipo_inlining`)
+//! and, for cross-engine folded-stack bit-identity on the real mix, in the
+//! bench crate's `attr_parity` suite.
 
 use rsti_ir::{Inst, Module, PacSite};
 

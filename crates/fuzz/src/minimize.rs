@@ -9,12 +9,18 @@
 //! candidate is a syntactically well-formed program by construction, so the
 //! oracle run is never wasted on parse noise.
 //!
-//! Four edit kinds, applied greedily to a fixpoint under an attempt budget:
+//! Five edit kinds, applied greedily to a fixpoint under an attempt budget:
 //!
 //! 1. drop a whole top-level item,
 //! 2. drop a single statement (any nesting depth),
 //! 3. unwrap a control statement (replace an `if`/loop/block with its body),
-//! 4. simplify a statement's expression (binary → lhs, cast/negation →
+//! 4. collapse a trivial call (replace a call expression with its first
+//!    argument, or `0` when it has none) — this drops a call-graph edge
+//!    while keeping the statement, so failures triggered by the
+//!    interprocedural optimizer's cross-function reasoning (`--opt ipo`
+//!    summaries, inlining) still shrink toward small corpora instead of
+//!    being pinned by the very call that provoked them,
+//! 5. simplify a statement's expression (binary → lhs, cast/negation →
 //!    operand).
 
 use crate::oracle::check_items;
@@ -70,7 +76,13 @@ pub fn minimize(items: &[Item], class_key: &str, budget: u32) -> MinimizeReport 
             }
         }
 
-        for kind in [EditKind::Remove, EditKind::Unwrap, EditKind::DropElse, EditKind::Simplify] {
+        for kind in [
+            EditKind::Remove,
+            EditKind::Unwrap,
+            EditKind::DropElse,
+            EditKind::CollapseCall,
+            EditKind::Simplify,
+        ] {
             let mut k = count_stmts(&cur);
             while k > 0 {
                 k -= 1;
@@ -105,6 +117,9 @@ enum EditKind {
     Unwrap,
     /// Delete an `else` branch.
     DropElse,
+    /// Replace the first call in the statement's expression with its first
+    /// argument (or `0`), severing a call-graph edge.
+    CollapseCall,
     /// Shrink the statement's expression one step.
     Simplify,
 }
@@ -207,7 +222,7 @@ fn apply_at(stmts: &mut Vec<Stmt>, i: usize, kind: EditKind) -> bool {
             }
             _ => false,
         },
-        EditKind::Simplify => {
+        EditKind::CollapseCall | EditKind::Simplify => {
             let target = match &mut stmts[i] {
                 Stmt::Assign { value, .. } => Some(value),
                 Stmt::Decl { init: Some(v), .. } => Some(v),
@@ -215,10 +230,80 @@ fn apply_at(stmts: &mut Vec<Stmt>, i: usize, kind: EditKind) -> bool {
                 Stmt::Expr(v) => Some(v),
                 _ => None,
             };
-            match target {
-                Some(e) => shrink_expr(e),
-                None => false,
+            match (target, kind) {
+                (Some(e), EditKind::CollapseCall) => collapse_first_call(e),
+                (Some(e), _) => shrink_expr(e),
+                (None, _) => false,
             }
+        }
+    }
+}
+
+/// Replaces the first (pre-order) call in `e` with its first argument, or
+/// `0` for a nullary call. Type mismatches the substitution introduces are
+/// caught downstream like any other rejected candidate.
+fn collapse_first_call(e: &mut Expr) -> bool {
+    if let Expr::Call { args, line, .. } = e {
+        *e = match args.first() {
+            Some(a) => a.clone(),
+            None => Expr::IntLit(0, *line),
+        };
+        return true;
+    }
+    match e {
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } => collapse_first_call(expr),
+        Expr::Binary { lhs, rhs, .. } => {
+            collapse_first_call(lhs) || collapse_first_call(rhs)
+        }
+        Expr::Member { base, .. } => collapse_first_call(base),
+        Expr::Index { base, index, .. } => {
+            collapse_first_call(base) || collapse_first_call(index)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsti_frontend::ast::Stmt;
+    use rsti_frontend::parse;
+
+    #[test]
+    fn collapse_call_severs_the_call_edge_in_place() {
+        let src = "long helper(long x) { return x + 1; }\n\
+                   int main() { long r = helper(3); return (int) r; }";
+        let mut items = parse(src).unwrap();
+        // Pre-order stmt 0 is helper's return; stmt 1 is the decl in main.
+        assert_eq!(apply_edit(&mut items, 1, EditKind::CollapseCall), Some(true));
+        let Item::Func { body: Some(b), .. } = &items[1] else {
+            panic!("main missing")
+        };
+        match &b.stmts[0] {
+            Stmt::Decl { init: Some(Expr::IntLit(3, _)), .. } => {}
+            other => panic!("call not collapsed to its argument: {other:?}"),
+        }
+        // Nothing left to collapse at that position.
+        assert_eq!(apply_edit(&mut items, 1, EditKind::CollapseCall), Some(false));
+    }
+
+    #[test]
+    fn collapse_call_reaches_nested_and_nullary_calls() {
+        let src = "long zero() { return 0; }\n\
+                   int main() { long r = 1 + zero(); return (int) r; }";
+        let mut items = parse(src).unwrap();
+        assert_eq!(apply_edit(&mut items, 1, EditKind::CollapseCall), Some(true));
+        let Item::Func { body: Some(b), .. } = &items[1] else {
+            panic!("main missing")
+        };
+        match &b.stmts[0] {
+            Stmt::Decl { init: Some(Expr::Binary { rhs, .. }), .. } => {
+                assert!(
+                    matches!(**rhs, Expr::IntLit(0, _)),
+                    "nullary call must collapse to 0: {rhs:?}"
+                );
+            }
+            other => panic!("unexpected shape: {other:?}"),
         }
     }
 }

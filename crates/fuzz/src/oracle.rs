@@ -388,12 +388,14 @@ fn check_compiled(src: &str) -> Result<(), FailureKind> {
 
     // Short opt-level suffixes: `""` (unoptimized), `"+opt"` (the
     // block-local pipeline), `"+cfg"` (dominator elision, hoisting,
-    // precomputed modifiers).
+    // precomputed modifiers), `"+ipo"` (interprocedural summaries,
+    // resign folding, inlining).
     fn level_suffix(level: OptLevel) -> &'static str {
         match level {
             OptLevel::None => "",
             OptLevel::BlockLocal => "+opt",
             OptLevel::Cfg => "+cfg",
+            OptLevel::Ipo => "+ipo",
         }
     }
 

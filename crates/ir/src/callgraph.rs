@@ -1,0 +1,313 @@
+//! Call graph over a module's functions.
+//!
+//! The interprocedural optimizer (`--opt ipo` in `rsti-core`) needs three
+//! artifacts that all come from the direct-call structure of the program:
+//! the callee/caller adjacency read straight off `Inst::Call`, a strongly-
+//! connected-component condensation that isolates recursion, and an
+//! ordering of the condensation so per-function summaries can be computed
+//! **bottom-up** (callees before callers — a callee's effects must be known
+//! before any call site that names it is summarized).
+//!
+//! Indirect calls (`Inst::CallIndirect`) have no static callee; they are
+//! not edges here. Instead each function records whether it *contains* an
+//! indirect call, and summary construction treats that as "may call
+//! anything" (top). External functions have no body and therefore no
+//! outgoing edges; callers record the edge so the summarizer can see that
+//! the callee is external and treat it conservatively.
+//!
+//! The SCC algorithm is Tarjan's, run iteratively (deep call chains in
+//! generated programs would overflow a recursive walk, same reasoning as
+//! the iterative DFS in [`crate::cfg`]). Tarjan emits components in
+//! reverse topological order of the condensation — every edge leaving a
+//! component points to an *earlier*-emitted component — so
+//! [`CallGraph::sccs`] is already the bottom-up order, and reverse-
+//! postorder over the condensation (callers first) is simply its reverse.
+
+use crate::function::Function;
+use crate::inst::Inst;
+use crate::module::{FuncId, Module};
+
+/// Direct-call edges of one function body, deduplicated, in first-
+/// occurrence order. Externals (no body) yield an empty list.
+pub fn direct_callees(f: &Function) -> Vec<FuncId> {
+    let mut out: Vec<FuncId> = Vec::new();
+    for node in f.insts() {
+        if let Inst::Call { callee, .. } = node.inst {
+            if !out.contains(&callee) {
+                out.push(callee);
+            }
+        }
+    }
+    out
+}
+
+/// The call graph of one module: adjacency, SCC condensation, and the
+/// bottom-up (callees-first) component order.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[f]` — functions `f` calls directly (deduplicated, in
+    /// first-occurrence order).
+    pub callees: Vec<Vec<FuncId>>,
+    /// `callers[f]` — functions that call `f` directly (deduplicated).
+    pub callers: Vec<Vec<FuncId>>,
+    /// `has_indirect[f]` — whether `f` contains a `CallIndirect`; its
+    /// possible callees are unknown, so summaries must treat `f` as
+    /// calling anything.
+    pub has_indirect: Vec<bool>,
+    /// Strongly connected components in **bottom-up** order: every direct
+    /// call from a member of `sccs[i]` lands in `sccs[j]` with `j <= i`
+    /// (`j == i` exactly for intra-component, i.e. recursive, calls).
+    /// Singleton components cover non-recursive functions.
+    pub sccs: Vec<Vec<FuncId>>,
+    /// `scc_of[f]` — index into [`CallGraph::sccs`] of `f`'s component.
+    pub scc_of: Vec<u32>,
+    /// `scc_recursive[i]` — whether component `i` contains a cycle: more
+    /// than one member, or a single member that calls itself.
+    pub scc_recursive: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `m`.
+    pub fn new(m: &Module) -> CallGraph {
+        let n = m.funcs.len();
+        let mut callees: Vec<Vec<FuncId>> = Vec::with_capacity(n);
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut has_indirect = vec![false; n];
+        for (i, f) in m.funcs.iter().enumerate() {
+            let cs = direct_callees(f);
+            for &c in &cs {
+                let back = &mut callers[c.0 as usize];
+                if !back.contains(&FuncId(i as u32)) {
+                    back.push(FuncId(i as u32));
+                }
+            }
+            callees.push(cs);
+            has_indirect[i] =
+                f.insts().any(|n| matches!(n.inst, Inst::CallIndirect { .. }));
+        }
+
+        let (sccs, scc_of) = tarjan_sccs(&callees, n);
+        let scc_recursive = sccs
+            .iter()
+            .map(|comp| {
+                comp.len() > 1
+                    || comp.len() == 1
+                        && callees[comp[0].0 as usize].contains(&comp[0])
+            })
+            .collect();
+        CallGraph { callees, callers, has_indirect, sccs, scc_of, scc_recursive }
+    }
+
+    /// Whether `f` participates in recursion (its SCC has a cycle).
+    pub fn is_recursive(&self, f: FuncId) -> bool {
+        self.scc_recursive[self.scc_of[f.0 as usize] as usize]
+    }
+
+    /// Component indices in bottom-up (callees-first) order — the order
+    /// per-function summaries are computed in. Identity over
+    /// [`CallGraph::sccs`], named for readability at call sites.
+    pub fn bottom_up(&self) -> impl Iterator<Item = usize> {
+        0..self.sccs.len()
+    }
+
+    /// Component indices in reverse-postorder over the condensation
+    /// (callers before callees) — the order top-down interprocedural
+    /// passes would use. The reverse of [`CallGraph::bottom_up`].
+    pub fn condensation_rpo(&self) -> impl Iterator<Item = usize> {
+        (0..self.sccs.len()).rev()
+    }
+}
+
+/// Iterative Tarjan over the `callees` adjacency. Returns the components
+/// in emission order (reverse topological over the condensation) and the
+/// per-function component index.
+fn tarjan_sccs(callees: &[Vec<FuncId>], n: usize) -> (Vec<Vec<FuncId>>, Vec<u32>) {
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+    let mut scc_of = vec![0u32; n];
+
+    // Explicit DFS frames: (node, next callee position to explore).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+            let succs = &callees[v as usize];
+            if *next < succs.len() {
+                let w = succs[*next].0;
+                *next += 1;
+                if index[w as usize] == UNVISITED {
+                    frames.push((w, 0));
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        scc_of[w as usize] = sccs.len() as u32;
+                        comp.push(FuncId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    // Members in ascending id order: deterministic and
+                    // independent of DFS entry point.
+                    comp.sort();
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    (sccs, scc_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{BasicBlock, Function, InstNode, ValueId};
+    use crate::inst::{Operand, Terminator};
+    use crate::types::{FuncSig, TypeTable};
+
+    /// A module of `void`-returning functions where function `i` directly
+    /// calls the ids in `edges[i]` (in order, duplicates allowed).
+    fn graph(edges: Vec<Vec<u32>>) -> Module {
+        let types = TypeTable::new();
+        let void = types.void();
+        let mut m = Module::new("cg");
+        for (i, es) in edges.iter().enumerate() {
+            let insts = es
+                .iter()
+                .map(|&c| InstNode {
+                    inst: Inst::Call { result: None, callee: FuncId(c), args: vec![] },
+                    loc: None,
+                })
+                .collect();
+            m.funcs.push(Function {
+                name: format!("f{i}"),
+                sig: FuncSig::new(void, vec![]),
+                params: vec![],
+                blocks: vec![BasicBlock {
+                    insts,
+                    term: Terminator::Ret(None),
+                    term_loc: None,
+                }],
+                value_types: vec![],
+                is_external: false,
+            });
+        }
+        m
+    }
+
+    #[test]
+    fn chain_orders_callees_first() {
+        // 0 -> 1 -> 2
+        let cg = CallGraph::new(&graph(vec![vec![1], vec![2], vec![]]));
+        assert_eq!(cg.callees[0], vec![FuncId(1)]);
+        assert_eq!(cg.callers[1], vec![FuncId(0)]);
+        assert_eq!(cg.sccs.len(), 3);
+        // Bottom-up: 2 before 1 before 0.
+        let pos = |f: u32| cg.scc_of[f as usize];
+        assert!(pos(2) < pos(1));
+        assert!(pos(1) < pos(0));
+        assert!(!cg.is_recursive(FuncId(0)));
+        // Condensation RPO is the reverse: callers first.
+        let rpo: Vec<usize> = cg.condensation_rpo().collect();
+        assert_eq!(rpo[0], pos(0) as usize);
+    }
+
+    #[test]
+    fn duplicate_calls_dedup_edges() {
+        let cg = CallGraph::new(&graph(vec![vec![1, 1, 1], vec![]]));
+        assert_eq!(cg.callees[0], vec![FuncId(1)]);
+        assert_eq!(cg.callers[1], vec![FuncId(0)]);
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_recursive_scc() {
+        // 0 -> 1, 1 -> 0; 2 calls into the cycle.
+        let cg = CallGraph::new(&graph(vec![vec![1], vec![0], vec![0]]));
+        assert_eq!(cg.scc_of[0], cg.scc_of[1]);
+        assert_ne!(cg.scc_of[0], cg.scc_of[2]);
+        assert!(cg.is_recursive(FuncId(0)));
+        assert!(cg.is_recursive(FuncId(1)));
+        assert!(!cg.is_recursive(FuncId(2)));
+        // The cycle's component precedes its caller's in bottom-up order.
+        assert!(cg.scc_of[0] < cg.scc_of[2]);
+        // Members listed in ascending id order.
+        let comp = &cg.sccs[cg.scc_of[0] as usize];
+        assert_eq!(comp.as_slice(), &[FuncId(0), FuncId(1)]);
+    }
+
+    #[test]
+    fn self_loop_is_recursive_singleton() {
+        let cg = CallGraph::new(&graph(vec![vec![0], vec![]]));
+        assert!(cg.is_recursive(FuncId(0)));
+        assert!(!cg.is_recursive(FuncId(1)));
+        assert_eq!(cg.sccs[cg.scc_of[0] as usize], vec![FuncId(0)]);
+    }
+
+    #[test]
+    fn indirect_calls_flagged_not_edged() {
+        let types = TypeTable::new();
+        let void = types.void();
+        let mut m = graph(vec![vec![]]);
+        let sig = FuncSig::new(void, vec![]);
+        m.funcs[0].blocks[0].insts.push(InstNode {
+            inst: Inst::CallIndirect {
+                result: None,
+                callee: Operand::Value(ValueId(0)),
+                sig,
+                args: vec![],
+            },
+            loc: None,
+        });
+        let cg = CallGraph::new(&m);
+        assert!(cg.has_indirect[0]);
+        assert!(cg.callees[0].is_empty());
+    }
+
+    #[test]
+    fn every_edge_stays_within_or_below_its_component() {
+        // A denser shape: diamond with a back edge forming a cycle.
+        // 0 -> 1,2 ; 1 -> 3 ; 2 -> 3 ; 3 -> 1 (cycle 1,3)
+        let cg =
+            CallGraph::new(&graph(vec![vec![1, 2], vec![3], vec![3], vec![1]]));
+        for (f, cs) in cg.callees.iter().enumerate() {
+            for c in cs {
+                assert!(
+                    cg.scc_of[c.0 as usize] <= cg.scc_of[f],
+                    "edge {f} -> {} goes up the bottom-up order",
+                    c.0
+                );
+            }
+        }
+        assert_eq!(cg.scc_of[1], cg.scc_of[3]);
+        assert!(cg.is_recursive(FuncId(1)));
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod callgraph;
 pub mod cfg;
 pub mod debug;
 pub mod dom;
@@ -47,6 +48,7 @@ pub mod types;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
+pub use callgraph::{direct_callees, CallGraph};
 pub use cfg::{term_successors, Cfg};
 pub use debug::{DebugLoc, Scope, VarId, VarInfo, VarKind};
 pub use dom::DomTree;

@@ -25,7 +25,7 @@
 //!   `rsti-workloads` (`NUMERIC SORT`, `NGINX-access-log`, ...).
 //! * `mech` — `stwc` | `stc` | `stl` | `parts` | `none`/`baseline` |
 //!   `adaptive` (default `stwc`).
-//! * `opt` — `none` | `block` | `cfg` (default `cfg`).
+//! * `opt` — `none` | `block` | `cfg` | `ipo` (default `cfg`).
 //! * `exec` — `interp` | `compiled` (default `interp`).
 //! * `enforce` — `pac` | `mac` (default `pac`).
 //! * `record` — boolean; arm the flight recorder (implied by `explain`).
@@ -636,6 +636,15 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_ipo_opt_level() {
+        let r = Request::parse(
+            r#"{"cmd":"run","source":"int main() { return 0; }","opt":"ipo"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.opt, OptLevel::Ipo);
+    }
+
+    #[test]
     fn explain_implies_record() {
         let r = Request::parse(r#"{"cmd":"explain","source":"int main() { return 0; }"}"#).unwrap();
         assert!(r.record);
@@ -698,7 +707,7 @@ mod tests {
         ] {
             keys.push(cache_key(base.0, m, base.2, base.3, base.4));
         }
-        for o in [OptLevel::None, OptLevel::BlockLocal] {
+        for o in [OptLevel::None, OptLevel::BlockLocal, OptLevel::Ipo] {
             keys.push(cache_key(base.0, base.1, o, base.3, base.4));
         }
         keys.push(cache_key(base.0, base.1, base.2, ExecBackend::Compiled, base.4));

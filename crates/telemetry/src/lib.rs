@@ -126,6 +126,16 @@ pub enum CounterId {
     AuthsElidedDom,
     /// Loop-header load+auth pairs hoisted into loop preheaders.
     AuthsHoisted,
+    /// Authentications removed by the interprocedural level: summary-kill
+    /// dataflow elisions, sign→store forwarding, and folded internal-
+    /// boundary re-sign round-trips.
+    AuthsElidedIpo,
+    /// Call sites inlined by the post-instrumentation size-budgeted
+    /// inliner.
+    CallsInlined,
+    /// Direct-call sites whose kill set the bottom-up function summaries
+    /// refined below the intraprocedural clobber-everything assumption.
+    SummaryKillRefinements,
     /// PAC modifiers resolved at optimize time (STL location-mixing with a
     /// statically known address folded into the instruction's modifier).
     ModifiersPrecomputed,
@@ -211,12 +221,15 @@ pub enum CounterId {
 
 impl CounterId {
     /// Every counter, in snapshot order.
-    pub const ALL: [CounterId; 41] = [
+    pub const ALL: [CounterId; 44] = [
         CounterId::SignsInserted,
         CounterId::AuthsInserted,
         CounterId::AuthsElidedBlock,
         CounterId::AuthsElidedDom,
         CounterId::AuthsHoisted,
+        CounterId::AuthsElidedIpo,
+        CounterId::CallsInlined,
+        CounterId::SummaryKillRefinements,
         CounterId::ModifiersPrecomputed,
         CounterId::StripsInserted,
         CounterId::PpSitesInserted,
@@ -263,6 +276,9 @@ impl CounterId {
             CounterId::AuthsElidedBlock => "auths_elided_block",
             CounterId::AuthsElidedDom => "auths_elided_dom",
             CounterId::AuthsHoisted => "auths_hoisted",
+            CounterId::AuthsElidedIpo => "auths_elided_ipo",
+            CounterId::CallsInlined => "calls_inlined",
+            CounterId::SummaryKillRefinements => "summary_kill_refinements",
             CounterId::ModifiersPrecomputed => "modifiers_precomputed",
             CounterId::StripsInserted => "strips_inserted",
             CounterId::PpSitesInserted => "pp_sites_inserted",
@@ -934,7 +950,8 @@ mod tests {
         }
         let expected_names = [
             "signs_inserted", "auths_inserted", "auths_elided_block", "auths_elided_dom",
-            "auths_hoisted", "modifiers_precomputed", "strips_inserted",
+            "auths_hoisted", "auths_elided_ipo", "calls_inlined",
+            "summary_kill_refinements", "modifiers_precomputed", "strips_inserted",
             "pp_sites_inserted", "classes_stwc", "classes_stc", "classes_stl",
             "classes_parts", "qarma_calls", "pac_memo_hits", "sched_memo_hits",
             "sched_memo_misses", "vm_runs_interp", "vm_runs_compiled",

@@ -339,8 +339,13 @@ impl Memory {
             return Err(MemFault::OutOfRange { addr, len: N as u64 });
         }
         let mut out = [0u8; N];
+        // `off` may sit entirely past the materialized prefix (a read of
+        // never-written zero-fill): avail is 0 there, and indexing
+        // `data[off..off]` would still panic on `off > len`.
         let avail = s.data.len().saturating_sub(off).min(N);
-        out[..avail].copy_from_slice(&s.data[off..off + avail]);
+        if avail > 0 {
+            out[..avail].copy_from_slice(&s.data[off..off + avail]);
+        }
         Ok(out)
     }
 
@@ -481,6 +486,18 @@ mod tests {
         assert!(matches!(m.write(a, b"x"), Err(MemFault::ReadOnly { .. })));
         m.attacker_write(a, b"x").unwrap();
         assert_eq!(m.read(a, 1).unwrap(), b"x");
+    }
+
+    #[test]
+    fn scalar_read_past_materialized_prefix_is_zero_fill() {
+        // Materialize only the first 8 bytes, then read a scalar whose
+        // whole range sits beyond the prefix but inside the segment: it is
+        // never-written zero-fill, not a panic (regression: the empty-copy
+        // path used to index `data[off..off]` with `off > len`).
+        let mut m = Memory::new(64, 64, 64, 64).unwrap();
+        m.write_u64(layout::GLOBAL_BASE, 0xBEEF).unwrap();
+        assert_eq!(m.read_u64(layout::GLOBAL_BASE + 16).unwrap(), 0);
+        assert_eq!(m.read_arr::<4>(layout::GLOBAL_BASE + 24).unwrap(), [0u8; 4]);
     }
 
     #[test]
